@@ -1,0 +1,28 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the experiment once under pytest-benchmark timing, renders the same
+rows/series the paper reports, prints them, and writes them to
+``benchmarks/results/<name>.txt`` so the artifacts persist after the
+run.  Expected shapes (who wins, where the curves flatten) are asserted
+so a regression in the reproduction fails the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered experiment and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

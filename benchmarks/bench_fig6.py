@@ -1,0 +1,66 @@
+"""Figure 6: coverage growth for Dryad channels.
+
+Reproduces the paper's Figure 6: distinct states visited versus
+executions explored on the Dryad channel library, for iterative
+context bounding, unbounded DFS, and depth-bounded search at three
+bounds (the paper's idfs-75/100/125, scaled to our driver's shorter
+executions).
+
+Expected shape, as in Figure 5: icb achieves the best coverage under
+the fixed execution budget.
+"""
+
+from __future__ import annotations
+
+from repro import ChessChecker, DepthFirstSearch, IterativeContextBounding
+from repro.experiments.coverage import coverage_growth, history_series
+from repro.experiments.reporting import render_curves, render_table
+from repro.programs.dryad import dryad_channels
+
+from _common import emit, run_once
+
+BUDGET = 800
+#: Depth bounds scaled to the Dryad model's execution lengths.
+IDFS_BOUNDS = (20, 30, 40)
+
+
+def run_fig6():
+    strategies = {
+        "icb": IterativeContextBounding(),
+        "dfs": DepthFirstSearch(),
+    }
+    for bound in IDFS_BOUNDS:
+        strategies[f"idfs-{bound}"] = DepthFirstSearch(depth_bound=bound)
+    return coverage_growth(
+        lambda: ChessChecker(dryad_channels(workers=2, data_items=1)).space(),
+        strategies,
+        max_executions=BUDGET,
+        max_seconds=240,
+    )
+
+
+def test_fig6(benchmark):
+    results = run_once(benchmark, run_fig6)
+    series = history_series(results, sample_every=max(1, BUDGET // 200))
+    chart = render_curves(
+        series,
+        width=70,
+        height=18,
+        log_y=True,
+        title=f"Figure 6: Dryad coverage growth (budget {BUDGET} executions)",
+        x_label="executions",
+        y_label="distinct states",
+    )
+    finals = [
+        [label, result.executions, result.distinct_states]
+        for label, result in results.items()
+    ]
+    emit(
+        "fig6",
+        chart + "\n\n" + render_table(["strategy", "executions", "states"], finals),
+    )
+
+    states = {label: result.distinct_states for label, result in results.items()}
+    for label in states:
+        if label != "icb":
+            assert states["icb"] > states[label], (label, states)

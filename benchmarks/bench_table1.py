@@ -1,0 +1,122 @@
+"""Table 1: characteristics of the benchmarks.
+
+Reproduces the paper's Table 1: for each benchmark program, the size
+(LOC of our model), the number of threads allocated by the test
+driver, and the maximum K (total steps), B (blocking instructions) and
+c (preemptions) observed while sampling executions.
+
+Expected shape: thread counts match the paper exactly (3, 4, 3, 4, 5,
+2); K/B/c are smaller in absolute terms (our models are condensed
+Python rather than the original C/C++), but their ordering across
+programs -- Bluetooth smallest, Dryad largest among the native
+programs -- is preserved.
+"""
+
+from __future__ import annotations
+
+from repro import ChessChecker
+from repro.experiments.characteristics import (
+    characteristics_table,
+    count_loc,
+    measure_characteristics,
+)
+from repro.experiments.reporting import render_table
+from repro.programs import (
+    ape as ape_module,
+    bluetooth as bluetooth_module,
+    dryad as dryad_module,
+    filesystem as filesystem_module,
+    transaction_manager as tm_module,
+    workstealqueue as wsq_module,
+)
+from repro.programs.ape import ape
+from repro.programs.bluetooth import bluetooth
+from repro.programs.dryad import dryad_channels
+from repro.programs.filesystem import filesystem
+from repro.programs.transaction_manager import transaction_manager
+from repro.programs.workstealqueue import work_steal_queue
+from repro.zing import ZingStateSpace
+
+from _common import emit, run_once
+
+#: (row name, module for LOC, space factory, sampled executions)
+ENTRIES = [
+    (
+        "Bluetooth",
+        bluetooth_module,
+        lambda: ChessChecker(bluetooth(buggy=False)).space(),
+        150,
+    ),
+    (
+        "File System Model",
+        filesystem_module,
+        lambda: ChessChecker(filesystem()).space(),
+        150,
+    ),
+    (
+        "Work Stealing Q.",
+        wsq_module,
+        lambda: ChessChecker(work_steal_queue()).space(),
+        150,
+    ),
+    (
+        "APE",
+        ape_module,
+        lambda: ChessChecker(ape()).space(),
+        100,
+    ),
+    (
+        "Dryad Channels",
+        dryad_module,
+        lambda: ChessChecker(dryad_channels()).space(),
+        100,
+    ),
+    (
+        "Transaction Manager",
+        tm_module,
+        lambda: ZingStateSpace(transaction_manager()),
+        150,
+    ),
+]
+
+#: The paper's thread counts, asserted to match exactly.
+PAPER_THREADS = {
+    "Bluetooth": 3,
+    "File System Model": 4,
+    "Work Stealing Q.": 3,
+    "APE": 4,
+    "Dryad Channels": 5,
+    "Transaction Manager": 2,
+}
+
+
+def run_table1():
+    entries = []
+    for name, module, factory, executions in ENTRIES:
+        entries.append(
+            measure_characteristics(
+                name,
+                factory,
+                loc=count_loc(module),
+                executions=executions,
+                seed=1,
+            )
+        )
+    return entries
+
+
+def test_table1(benchmark):
+    entries = run_once(benchmark, run_table1)
+    headers, rows = characteristics_table(entries)
+    emit(
+        "table1",
+        render_table(headers, rows, title="Table 1: benchmark characteristics"),
+    )
+    by_name = {entry.name: entry for entry in entries}
+    for name, threads in PAPER_THREADS.items():
+        assert by_name[name].max_threads == threads, name
+    for entry in entries:
+        assert entry.max_k > 0 and entry.max_b > 0
+        # Random schedulers preempt freely: far more preemptions occur
+        # than the small bounds ICB needs (the paper's max c >> bug c).
+        assert entry.max_c >= 3, entry

@@ -1,0 +1,109 @@
+"""Writing property monitors for your own programs.
+
+Beyond assertions in thread code, properties can be stated as
+*monitors* observing every explored execution: global invariants
+checked at each scheduling point and postconditions checked at
+terminal states (sound for the sync-only reduction by Theorem 2 of the
+paper).  Monitors report through the engine, so a violated property
+carries the same minimal-preemption witness as any built-in bug.
+
+This demo checks a tiny reader-writer cache for two properties:
+
+* invariant: never a writer and a reader inside simultaneously;
+* postcondition: the cache ends consistent with the write log.
+
+Run:  python examples/custom_monitor.py
+"""
+
+from repro import (
+    ChessChecker,
+    ExecutionConfig,
+    FinalStateMonitor,
+    InvariantMonitor,
+    Program,
+    monitor_factory,
+)
+
+
+def make_cache_program(use_rwlock: bool):
+    """Readers and writers on a cached value; optionally unprotected."""
+
+    def setup(w):
+        rw = w.rwlock("rw")
+        cache = w.var("cache", 0)
+        log = w.var("log", ())
+        readers_in = w.atomic("readers_in", 0)
+        writer_in = w.atomic("writer_in", 0)
+
+        def reader():
+            if use_rwlock:
+                yield rw.acquire_read()
+            yield readers_in.add(1)
+            yield cache.read()
+            yield readers_in.add(-1)
+            if use_rwlock:
+                yield rw.release()
+
+        def writer(value):
+            if use_rwlock:
+                yield rw.acquire_write()
+            yield writer_in.add(1)
+            yield cache.write(value)
+            entries = yield log.read()
+            yield log.write(entries + (value,))
+            yield writer_in.add(-1)
+            if use_rwlock:
+                yield rw.release()
+
+        return [
+            ("r1", reader, ()),
+            ("r2", reader, ()),
+            ("w1", writer, (10,)),
+            ("w2", writer, (20,)),
+        ]
+
+    name = "rw-cache" if use_rwlock else "rw-cache-unprotected"
+    return Program(name, setup)
+
+
+def exclusion_invariant(execution):
+    """No writer while any reader is inside (and at most one writer)."""
+    readers = execution.world.find("readers_in").value
+    writers = execution.world.find("writer_in").value
+    return writers <= 1 and not (writers and readers)
+
+
+def cache_postcondition(execution):
+    """The final cache value is the last logged write."""
+    log = execution.world.find("log").value
+    cache = execution.world.find("cache").value
+    return bool(log) and cache == log[-1]
+
+
+CONFIG = ExecutionConfig(
+    monitors=(
+        monitor_factory(InvariantMonitor, "reader/writer exclusion", exclusion_invariant),
+        monitor_factory(FinalStateMonitor, "cache matches write log", cache_postcondition),
+    ),
+)
+
+
+def main():
+    print("=== protected cache: both properties certified ===")
+    protected = ChessChecker(make_cache_program(use_rwlock=True), CONFIG)
+    result = protected.check(max_bound=2)
+    print(result.summary())
+    print()
+
+    print("=== unprotected cache: the monitors find the violation ===")
+    unprotected = ChessChecker(make_cache_program(use_rwlock=False), CONFIG)
+    bug = unprotected.find_bug(max_bound=2)
+    assert bug is not None
+    print(bug.describe())
+    print()
+    print("The report's preemption count is minimal, courtesy of ICB's")
+    print("bound ordering -- the simplest schedule violating the property.")
+
+
+if __name__ == "__main__":
+    main()

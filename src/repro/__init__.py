@@ -1,0 +1,118 @@
+"""repro: iterative context bounding for systematic testing of
+multithreaded programs.
+
+A faithful, self-contained reproduction of Musuvathi & Qadeer,
+*Iterative Context Bounding for Systematic Testing of Multithreaded
+Programs* (PLDI 2007) -- the CHESS paper.
+
+Quickstart::
+
+    from repro import ChessChecker, Program, check
+
+    def setup(w):
+        balance = w.var("balance", 0)
+        lock = w.mutex("lock")
+
+        def deposit():
+            v = yield balance.read()       # racy read-modify-write
+            yield balance.write(v + 10)
+
+        def audit():
+            yield lock.acquire()
+            v = yield balance.read()
+            check(v % 10 == 0, "balance must be a multiple of 10")
+            yield lock.release()
+
+        return {"deposit1": deposit, "deposit2": deposit, "audit": audit}
+
+    bug = ChessChecker(Program("bank", setup)).find_bug()
+    print(bug.describe())   # minimal-preemption witness schedule
+
+Package layout:
+
+* :mod:`repro.core` -- the controlled concurrency runtime.
+* :mod:`repro.search` -- ICB and the baseline strategies.
+* :mod:`repro.races` -- happens-before tracking and race detection.
+* :mod:`repro.monitors` -- pluggable per-execution property monitors.
+* :mod:`repro.chess` -- the stateless checker facade.
+* :mod:`repro.zing` -- the explicit-state checker and its modeling
+  framework.
+* :mod:`repro.theory` -- the combinatorial bounds of Theorem 1.
+* :mod:`repro.programs` -- the paper's benchmark programs.
+* :mod:`repro.experiments` -- drivers regenerating every table and
+  figure of the evaluation.
+"""
+
+from .chess.checker import CheckResult, ChessChecker, check_program, find_minimal_bug
+from .core.effects import Effect, EffectKind, alloc, join, sched_yield, spawn
+from .core.execution import (
+    Execution,
+    ExecutionConfig,
+    RaceDetection,
+    SchedulingPolicy,
+    StepRecord,
+)
+from .core.program import Program, check
+from .core.thread import ThreadHandle, ThreadId
+from .core.transition import ProgramStateSpace, StateSpace
+from .core.world import World
+from .errors import BugKind, BugReport, ReproError
+from .monitors.monitor import FinalStateMonitor, InvariantMonitor, Monitor, monitor_factory
+from .search import (
+    DepthFirstSearch,
+    EnabledThreadsHeuristic,
+    IterativeContextBounding,
+    IterativeDeepening,
+    PCTScheduler,
+    RandomWalk,
+    SearchContext,
+    SearchLimits,
+    SearchResult,
+    SleepSetDFS,
+    Strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BugKind",
+    "BugReport",
+    "CheckResult",
+    "ChessChecker",
+    "DepthFirstSearch",
+    "Effect",
+    "EffectKind",
+    "EnabledThreadsHeuristic",
+    "Execution",
+    "ExecutionConfig",
+    "FinalStateMonitor",
+    "InvariantMonitor",
+    "IterativeContextBounding",
+    "IterativeDeepening",
+    "Monitor",
+    "PCTScheduler",
+    "Program",
+    "ProgramStateSpace",
+    "RaceDetection",
+    "RandomWalk",
+    "ReproError",
+    "SchedulingPolicy",
+    "SearchContext",
+    "SearchLimits",
+    "SearchResult",
+    "SleepSetDFS",
+    "StateSpace",
+    "StepRecord",
+    "Strategy",
+    "ThreadHandle",
+    "ThreadId",
+    "World",
+    "alloc",
+    "check",
+    "check_program",
+    "find_minimal_bug",
+    "join",
+    "monitor_factory",
+    "sched_yield",
+    "spawn",
+]

@@ -1,0 +1,5 @@
+"""The CHESS-style stateless model checker facade."""
+
+from .checker import CheckResult, ChessChecker, check_program, find_minimal_bug
+
+__all__ = ["CheckResult", "ChessChecker", "check_program", "find_minimal_bug"]

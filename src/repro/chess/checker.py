@@ -1,0 +1,189 @@
+"""The stateless model checker: the library's front door.
+
+:class:`ChessChecker` mirrors the paper's CHESS tool: it executes the
+program under test directly (no model extraction), is stateless
+(revisiting a state means replaying its schedule), introduces context
+switches only at synchronization-variable accesses, and checks every
+explored execution for data races, which keeps the reduction sound
+(Section 3.1, Theorems 2 and 3).
+
+Typical use::
+
+    from repro import ChessChecker, Program
+
+    checker = ChessChecker(Program("demo", setup))
+    result = checker.check()                # ICB until exhaustion
+    result = checker.check(max_bound=2)     # certify <= 2 preemptions
+    bug = checker.find_bug()                # first (minimal) bug or None
+    checker.explain(bug)                    # replayed, annotated trace
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.execution import Execution, ExecutionConfig
+from ..core.program import Program
+from ..core.transition import ProgramStateSpace
+from ..errors import BugReport
+from ..search.strategy import SearchLimits, SearchResult, Strategy
+from ..search.icb import IterativeContextBounding
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one checking run, with the ICB coverage guarantee."""
+
+    program: str
+    search: SearchResult
+    #: Highest preemption bound completely explored, or ``None`` if
+    #: the run stopped before finishing bound 0.  When the search
+    #: found no bug, the program is *certified* correct for every
+    #: execution with at most this many preemptions.
+    certified_bound: Optional[int]
+
+    @property
+    def bugs(self) -> List[BugReport]:
+        return self.search.bugs
+
+    @property
+    def found_bug(self) -> bool:
+        return self.search.found_bug
+
+    @property
+    def executions(self) -> int:
+        return self.search.executions
+
+    @property
+    def distinct_states(self) -> int:
+        return self.search.distinct_states
+
+    @property
+    def transitions(self) -> int:
+        return self.search.transitions
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"program: {self.program}", self.search.summary()]
+        if self.certified_bound is not None and not self.found_bug:
+            lines.append(
+                "guarantee: no bug is reachable with at most "
+                f"{self.certified_bound} preemption(s)"
+            )
+        for bug in self.bugs:
+            lines.append(bug.describe())
+        return "\n".join(lines)
+
+
+class ChessChecker:
+    """Stateless systematic testing of a :class:`Program`."""
+
+    def __init__(
+        self, program: Program, config: Optional[ExecutionConfig] = None
+    ) -> None:
+        self.program = program
+        self.config = config or ExecutionConfig()
+
+    # -- state-space construction -----------------------------------------
+
+    def space(self) -> ProgramStateSpace:
+        """A fresh replay-based state space for this program."""
+        return ProgramStateSpace(self.program, self.config)
+
+    # -- checking entry points -----------------------------------------------
+
+    def check(
+        self,
+        strategy: Optional[Strategy] = None,
+        max_bound: Optional[int] = None,
+        limits: Optional[SearchLimits] = None,
+        state_caching: bool = False,
+    ) -> CheckResult:
+        """Explore the program; by default with ICB until exhaustion.
+
+        Args:
+            strategy: overrides the search strategy (any strategy from
+                :mod:`repro.search`); mutually exclusive with
+                ``max_bound`` and ``state_caching``.
+            max_bound: stop ICB after completing this preemption bound.
+            limits: execution/transition/time budgets.
+            state_caching: enable Algorithm 1's work-item table.
+        """
+        if strategy is None:
+            strategy = IterativeContextBounding(
+                max_bound=max_bound, state_caching=state_caching
+            )
+        elif max_bound is not None:
+            raise ValueError("pass max_bound only when using the default strategy")
+        result = strategy.run(self.space(), limits=limits)
+        certified = result.extras.get("completed_bound")
+        if certified is None and result.completed:
+            # Non-ICB strategies that exhausted the space certify all bounds.
+            certified = result.context.max_preemptions
+        return CheckResult(
+            program=self.program.name, search=result, certified_bound=certified
+        )
+
+    def find_bug(
+        self,
+        max_bound: Optional[int] = None,
+        limits: Optional[SearchLimits] = None,
+    ) -> Optional[BugReport]:
+        """Run ICB until the first bug; its witness is preemption-minimal.
+
+        Because ICB explores every execution with ``c`` preemptions
+        before any with ``c + 1``, the returned report's
+        ``preemptions`` is the minimum over all witnesses of any bug.
+        """
+        base = limits or SearchLimits()
+        limits = SearchLimits(
+            max_executions=base.max_executions,
+            max_transitions=base.max_transitions,
+            max_seconds=base.max_seconds,
+            stop_on_first_bug=True,
+        )
+        result = self.check(max_bound=max_bound, limits=limits)
+        return result.search.first_bug
+
+    # -- witness replay ---------------------------------------------------------
+
+    def replay(self, bug: BugReport) -> Execution:
+        """Deterministically re-execute a bug's witness schedule."""
+        execution = Execution(self.program, self.config)
+        for tid in bug.schedule:
+            execution.execute(tid)
+            if execution.finished:
+                break
+        return execution
+
+    def explain(self, bug: BugReport) -> str:
+        """Replay a bug and render an annotated trace.
+
+        Preempting steps are marked ``*``; the paper argues the trace
+        with the fewest preemptions is the simplest explanation of a
+        concurrency error, and ICB's witnesses are exactly those.
+        """
+        execution = self.replay(bug)
+        header = bug.describe()
+        return f"{header}\ntrace (preempting steps marked *):\n{execution.describe_trace()}"
+
+
+def check_program(
+    program: Program,
+    max_bound: Optional[int] = None,
+    config: Optional[ExecutionConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> CheckResult:
+    """One-call ICB checking (see :class:`ChessChecker`)."""
+    return ChessChecker(program, config).check(max_bound=max_bound, limits=limits)
+
+
+def find_minimal_bug(
+    program: Program,
+    max_bound: Optional[int] = None,
+    config: Optional[ExecutionConfig] = None,
+    limits: Optional[SearchLimits] = None,
+) -> Optional[BugReport]:
+    """One-call minimal-preemption bug finding."""
+    return ChessChecker(program, config).find_bug(max_bound=max_bound, limits=limits)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro``.
+
+Checks a built-in benchmark program (or any program importable as
+``module:factory``) with a chosen strategy::
+
+    python -m repro list
+    python -m repro check bluetooth --bound 2
+    python -m repro check wsq:pop-race --stop-on-first-bug
+    python -m repro check mypkg.mymod:make_program --strategy dfs
+    python -m repro explain wsq:pop-race
+
+``check`` exits non-zero when a bug is found, so the CLI slots into CI
+pipelines the way the paper envisions systematic testing replacing
+stress testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Callable, Dict, Optional
+
+from .chess.checker import ChessChecker
+from .core.execution import ExecutionConfig, RaceDetection, SchedulingPolicy
+from .core.program import Program
+from .search import (
+    DepthFirstSearch,
+    EnabledThreadsHeuristic,
+    IterativeDeepening,
+    RandomWalk,
+    SearchLimits,
+    Strategy,
+)
+
+
+def _builtin_programs() -> Dict[str, Callable[[], Program]]:
+    from .programs.ape import VARIANTS as APE_VARIANTS, ape
+    from .programs.bluetooth import bluetooth
+    from .programs.dryad import VARIANTS as DRYAD_VARIANTS, dryad_channels
+    from .programs.filesystem import filesystem
+    from .programs.workstealqueue import VARIANTS as WSQ_VARIANTS, work_steal_queue
+    from .programs import toy
+
+    registry: Dict[str, Callable[[], Program]] = {
+        "bluetooth": lambda: bluetooth(buggy=True),
+        "bluetooth:fixed": lambda: bluetooth(buggy=False),
+        "filesystem": filesystem,
+        "wsq": work_steal_queue,
+        "ape": ape,
+        "dryad": lambda: dryad_channels(workers=2, data_items=1),
+        "toy:racy-counter": toy.racy_counter,
+        "toy:atomic-counter": toy.atomic_counter_assert,
+        "toy:deadlock": toy.lock_order_deadlock,
+        "toy:dekker": toy.dekker,
+        "toy:peterson": toy.peterson,
+        "toy:uaf": toy.use_after_free_toy,
+    }
+    for variant in WSQ_VARIANTS:
+        registry[f"wsq:{variant}"] = lambda v=variant: work_steal_queue(variant=v)
+    for variant in APE_VARIANTS:
+        registry[f"ape:{variant}"] = lambda v=variant: ape(variant=v)
+    for variant in DRYAD_VARIANTS:
+        registry[f"dryad:{variant}"] = lambda v=variant: dryad_channels(
+            variant=v, workers=2, data_items=1
+        )
+    return registry
+
+
+def _resolve_program(spec: str) -> Program:
+    registry = _builtin_programs()
+    if spec in registry:
+        return registry[spec]()
+    if ":" in spec and "." in spec.split(":", 1)[0]:
+        module_name, factory_name = spec.split(":", 1)
+        module = importlib.import_module(module_name)
+        factory = getattr(module, factory_name)
+        program = factory()
+        if not isinstance(program, Program):
+            raise SystemExit(f"{spec} did not produce a repro Program")
+        return program
+    raise SystemExit(
+        f"unknown program {spec!r}; run `python -m repro list` for the "
+        "built-ins, or pass `package.module:factory`"
+    )
+
+
+def _make_strategy(args: argparse.Namespace) -> Optional[Strategy]:
+    name = args.strategy
+    if name == "icb":
+        return None  # checker default, honours --bound
+    if name == "dfs":
+        return DepthFirstSearch(depth_bound=args.depth_bound)
+    if name == "idfs":
+        return IterativeDeepening()
+    if name == "random":
+        return RandomWalk(executions=args.executions or 1000, seed=args.seed)
+    if name == "most-enabled":
+        return EnabledThreadsHeuristic()
+    raise SystemExit(f"unknown strategy {name!r}")
+
+
+def _make_config(args: argparse.Namespace) -> ExecutionConfig:
+    return ExecutionConfig(
+        policy=SchedulingPolicy(args.policy),
+        race_detection=RaceDetection.NONE
+        if args.no_race_detection
+        else RaceDetection.VECTOR_CLOCK,
+    )
+
+
+def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="built-in name or module:factory")
+    parser.add_argument("--bound", type=int, default=None,
+                        help="stop ICB after this preemption bound")
+    parser.add_argument("--strategy", default="icb",
+                        choices=["icb", "dfs", "idfs", "random", "most-enabled"])
+    parser.add_argument("--depth-bound", type=int, default=None,
+                        help="depth bound for --strategy dfs")
+    parser.add_argument("--executions", type=int, default=None,
+                        help="execution budget")
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="wall-clock budget")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for --strategy random")
+    parser.add_argument("--stop-on-first-bug", action="store_true")
+    parser.add_argument("--policy", default="sync-only",
+                        choices=[p.value for p in SchedulingPolicy])
+    parser.add_argument("--no-race-detection", action="store_true")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Systematic concurrency testing with iterative "
+        "context bounding (PLDI 2007 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list built-in benchmark programs")
+
+    check_parser = commands.add_parser("check", help="model-check a program")
+    _add_check_arguments(check_parser)
+
+    explain_parser = commands.add_parser(
+        "explain", help="find the minimal bug and print its annotated trace"
+    )
+    _add_check_arguments(explain_parser)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(_builtin_programs()):
+            print(name)
+        return 0
+
+    program = _resolve_program(args.program)
+    checker = ChessChecker(program, _make_config(args))
+    limits = SearchLimits(
+        max_executions=args.executions,
+        max_seconds=args.seconds,
+        stop_on_first_bug=args.stop_on_first_bug or args.command == "explain",
+    )
+
+    if args.command == "explain":
+        bug = checker.find_bug(max_bound=args.bound, limits=limits)
+        if bug is None:
+            print("no bug found")
+            return 0
+        print(checker.explain(bug))
+        return 1
+
+    result = checker.check(
+        strategy=_make_strategy(args), max_bound=args.bound, limits=limits
+    )
+    print(result.summary())
+    return 1 if result.found_bug else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core controlled-concurrency runtime.
+
+This package implements the formal model of Section 2 of the paper: a
+multithreaded program is a set of threads, each executing a sequence of
+steps, where every step accesses exactly one shared variable and the
+scheduler chooses the next thread at every scheduling point.
+
+The pieces:
+
+* :mod:`repro.core.effects` -- the vocabulary of operations a thread
+  can perform on shared state.
+* :mod:`repro.core.objects` -- shared-object base class and the
+  :class:`~repro.core.world.World` registry.
+* :mod:`repro.core.variables` -- data variables and atomic (sync)
+  variables.
+* :mod:`repro.core.sync` -- mutexes, critical sections, events,
+  semaphores, condition variables, reader-writer locks, barriers.
+* :mod:`repro.core.heap` -- a shared heap with use-after-free and
+  double-free detection.
+* :mod:`repro.core.thread` -- thread identities and per-thread state.
+* :mod:`repro.core.program` -- program definitions (setup functions
+  producing fresh worlds and thread bodies).
+* :mod:`repro.core.execution` -- the deterministic execution engine:
+  runs one schedule, computes enabled sets, counts preemptions, tracks
+  happens-before clocks and state fingerprints.
+* :mod:`repro.core.transition` -- the uniform state-space interface
+  that all search strategies operate on, with a replay-based adapter
+  for stateless (CHESS-style) exploration.
+"""
+
+from .effects import Effect, EffectKind
+from .program import Program
+from .world import World
+
+__all__ = ["Effect", "EffectKind", "Program", "World"]

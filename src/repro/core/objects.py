@@ -1,0 +1,99 @@
+"""Shared-object base class.
+
+Every piece of shared state in a program under test is a
+:class:`SharedObject` registered with a :class:`~repro.core.world.World`.
+Objects classify themselves as *synchronization* objects (mutexes,
+events, semaphores, atomic variables, ...) or *data* objects (plain
+shared variables, heap fields).  The classification drives the
+``sync_only`` scheduling-point policy of Section 3.1: scheduling points
+are introduced only before accesses to synchronization objects, and a
+per-execution race detector verifies that data accesses are ordered by
+the happens-before relation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable, Optional
+
+from ..errors import BugKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .effects import Effect
+    from .thread import ThreadState
+    from .world import World
+
+
+class BugSignal(Exception):
+    """Internal signal: the current step triggered a program bug.
+
+    Raised by shared objects or the engine while applying an effect;
+    the engine converts it into a :class:`~repro.errors.BugReport` and
+    marks the execution as failed.  Never escapes the engine.
+    """
+
+    def __init__(self, kind: BugKind, message: str, **details: Any) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.message = message
+        self.details = tuple(sorted(details.items()))
+
+
+class SharedObject:
+    """Base class for all shared state visible to multiple threads.
+
+    Subclasses implement:
+
+    * :meth:`is_enabled` -- whether a pending effect on this object can
+      execute now (``False`` means the issuing thread is blocked).
+    * :meth:`apply` -- perform the effect, returning the value sent
+      back into the thread generator.
+    * :meth:`snapshot` -- a hashable summary of the object's current
+      state, folded into the execution's state fingerprint.
+    """
+
+    #: Whether accesses to this object are synchronization accesses.
+    is_sync: bool = True
+
+    def __init__(self, world: "World", name: str) -> None:
+        self.world = world
+        self.name = name
+        #: Registration index; deterministic across replays because
+        #: worlds are rebuilt by the same setup function every time.
+        self.index = world._register(self)
+
+    # -- semantics ----------------------------------------------------
+
+    def is_enabled(self, effect: "Effect", thread: "ThreadState") -> bool:
+        """Whether ``effect`` issued by ``thread`` can execute now."""
+        return True
+
+    def apply(self, effect: "Effect", thread: "ThreadState") -> Any:
+        """Execute ``effect``; return the value for the generator."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not handle {effect.kind}"
+        )
+
+    def snapshot(self) -> Hashable:
+        """Hashable summary of current state for fingerprinting."""
+        raise NotImplementedError
+
+    # -- release notification -----------------------------------------
+
+    def release_edge_source(self) -> Optional["SharedObject"]:
+        """The object whose clock a release-style access publishes to.
+
+        Most objects publish to themselves; heap fields publish to
+        their owning reference.  Used by the happens-before tracker.
+        """
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+    def __hash__(self) -> int:
+        # Hash by (stable, per-execution-unique) name so that shared
+        # objects can be *stored as values* in shared variables without
+        # breaking fingerprint determinism across replays: the default
+        # identity hash differs between the fresh worlds of two
+        # executions of the same schedule.  Equality stays identity.
+        return hash(self.name)

@@ -1,0 +1,149 @@
+"""Thread identities and per-thread execution state.
+
+Thread identifiers are *hierarchical*: a root thread created by the
+program's setup gets path ``(i,)`` in declaration order, and the k-th
+thread spawned by a parent gets the parent's path extended with ``k``.
+This makes identifiers canonical across equivalent executions (two
+interleavings with the same happens-before relation name every thread
+identically), which in turn makes state fingerprints canonical.
+
+Per Appendix A of the paper, every thread's first operation is a wait
+on its *creation event* (signalled by the parent's spawn step, or
+pre-signalled for root threads) and its conceptual last operation is a
+block on its *termination event*.  We realize this with the implicit
+START and EXIT steps of :mod:`repro.core.execution`; ``join`` waits on
+the termination event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .effects import Effect
+    from .sync import Event
+
+
+@dataclass(frozen=True, order=True)
+class ThreadId:
+    """A canonical, hierarchical thread identifier.
+
+    Ordering and hashing use only the path, so labels are free-form
+    display names.  The scheduler's enabled set is sorted by path,
+    giving deterministic exploration order.
+    """
+
+    path: Tuple[int, ...]
+    label: str = ""
+
+    def child(self, index: int, label: str = "") -> "ThreadId":
+        """The identifier of this thread's ``index``-th spawned child."""
+        return ThreadId(self.path + (index,), label or f"{self.label}.{index}")
+
+    def __hash__(self) -> int:
+        return hash(self.path)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ThreadId) and self.path == other.path
+
+    def __str__(self) -> str:
+        return self.label or ".".join(map(str, self.path))
+
+    def __repr__(self) -> str:
+        return f"ThreadId({self.path!r}, {self.label!r})"
+
+
+class ThreadStatus(enum.Enum):
+    """Lifecycle of a thread under test."""
+
+    #: Created but has not yet executed its START step.
+    NEW = "new"
+    #: Executing its body.
+    ACTIVE = "active"
+    #: Body completed and EXIT step executed.
+    FINISHED = "finished"
+    #: Body raised; the execution is failed.
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ThreadHandle:
+    """The value a ``spawn`` effect yields back to the parent.
+
+    Pass it to :func:`repro.core.effects.join` to wait for the child.
+    Hashable so it can flow through state fingerprints.
+    """
+
+    tid: ThreadId
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<handle {self.tid}>"
+
+
+class ThreadState:
+    """Mutable per-execution state of one thread.
+
+    The *input hash chain* accumulates a hash of every value the engine
+    sends into the generator.  Because thread bodies are deterministic,
+    the pair (steps executed, input chain) fully determines the
+    thread's local state, which lets state fingerprints identify
+    program states without snapshotting generator frames.
+    """
+
+    def __init__(
+        self,
+        tid: ThreadId,
+        body: Callable[..., Iterator["Effect"]],
+        args: Tuple[Any, ...],
+        created_event: "Event",
+        done_event: "Event",
+    ) -> None:
+        self.tid = tid
+        self.body = body
+        self.args = args
+        self.created_event = created_event
+        self.done_event = done_event
+
+        self.status = ThreadStatus.NEW
+        self.generator: Optional[Iterator["Effect"]] = None
+        #: The effect the thread will execute when next scheduled
+        #: (NV(alpha, t) in the paper's notation).
+        self.pending: Optional["Effect"] = None
+
+        #: Number of steps (shared accesses) this thread has executed.
+        self.steps = 0
+        #: Number of potentially-blocking steps executed (B in Table 1).
+        self.blocking_steps = 0
+        #: Rolling hash of all values delivered into the generator.
+        self.input_chain = 0
+        #: Counter for canonical naming of spawned children and
+        #: heap allocations performed by this thread.
+        self.spawn_counter = 0
+        self.alloc_counter = 0
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def record_input(self, value: Any) -> None:
+        """Fold a delivered value into the input hash chain."""
+        try:
+            h = hash(value)
+        except TypeError:
+            h = hash(repr(value))
+        self.input_chain = hash((self.input_chain, h))
+
+    @property
+    def alive(self) -> bool:
+        """Whether the thread can still take steps."""
+        return self.status in (ThreadStatus.NEW, ThreadStatus.ACTIVE)
+
+    def local_fingerprint(self) -> Tuple[Any, ...]:
+        """Hashable summary of the thread's local state."""
+        return (self.status.value, self.steps, self.input_chain)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ThreadState {self.tid} {self.status.value} "
+            f"steps={self.steps} pending={self.pending!r}>"
+        )

@@ -1,0 +1,187 @@
+"""The uniform state-space interface explored by search strategies.
+
+Algorithm 1 of the paper is written against an abstract notion of
+state with ``Execute`` and ``enabled``; this module defines that
+interface (:class:`StateSpace`) and its stateless realization
+(:class:`ProgramStateSpace`), where a "state" is simply the schedule
+that reaches it and the underlying :class:`~repro.core.execution.Execution`
+is replayed on demand -- exactly how the stateless CHESS model checker
+revisits states.  The explicit-state ZING checker provides its own
+realization in :mod:`repro.zing.checker`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Optional, Tuple
+
+from ..errors import BugReport
+from .execution import Execution, ExecutionConfig, Schedule
+from .program import Program
+from .thread import ThreadId
+
+
+class StateSpace(abc.ABC):
+    """What a search strategy needs from a program's state space.
+
+    States are opaque, immutable tokens.  ``execute`` never mutates its
+    argument: it returns a new token, so strategies are free to revisit
+    states in any order (breadth-first over preemption bounds in ICB,
+    depth-first in DFS, uniformly at random in random walk).
+    """
+
+    @abc.abstractmethod
+    def initial_state(self) -> object:
+        """The unique initial state s0."""
+
+    @abc.abstractmethod
+    def enabled(self, state: object) -> Tuple[ThreadId, ...]:
+        """The threads enabled in ``state``, in canonical order."""
+
+    @abc.abstractmethod
+    def execute(self, state: object, tid: ThreadId) -> object:
+        """state.Execute(tid): run ``tid`` one step from ``state``."""
+
+    @abc.abstractmethod
+    def last_thread(self, state: object) -> Optional[ThreadId]:
+        """L(alpha): the thread that executed the last step."""
+
+    @abc.abstractmethod
+    def preemptions(self, state: object) -> int:
+        """NP(alpha): preempting context switches along this path."""
+
+    @abc.abstractmethod
+    def fingerprint(self, state: object) -> Hashable:
+        """Canonical identity of ``state`` (for coverage and caching)."""
+
+    @abc.abstractmethod
+    def is_terminal(self, state: object) -> bool:
+        """Whether no thread is enabled (or a bug failed the path)."""
+
+    @abc.abstractmethod
+    def bugs(self, state: object) -> Tuple[BugReport, ...]:
+        """All bugs discovered along the path ending at ``state``."""
+
+    def schedule_of(self, state: object) -> Schedule:
+        """The scheduling choices reaching ``state`` (replay recipe).
+
+        Optional; spaces that cannot reconstruct it return ``()``.
+        """
+        return ()
+
+    def thread_count(self, state: object) -> Optional[int]:
+        """Number of threads that exist at ``state`` (None if unknown)."""
+        return None
+
+
+class ProgramStateSpace(StateSpace):
+    """Stateless (replay-based) state space of a :class:`Program`.
+
+    A state is the tuple of scheduling choices reaching it.  The space
+    keeps a single live :class:`Execution`; when a strategy asks about
+    a state that is not an extension of the live execution, the program
+    is re-executed from scratch under the state's schedule -- the
+    paper's stateless exploration.  ``replays`` and ``replay_steps``
+    expose the cost of this strategy for the ablation benchmarks.
+    """
+
+    def __init__(self, program: Program, config: Optional[ExecutionConfig] = None):
+        self.program = program
+        self.config = config or ExecutionConfig()
+        self._current: Optional[Execution] = None
+        #: Number of fresh re-executions performed.
+        self.replays = 0
+        #: Total scheduling steps executed, including replayed ones.
+        self.replay_steps = 0
+
+    # -- replay machinery ------------------------------------------------
+
+    def _materialize(self, schedule: Schedule) -> Execution:
+        """Return a live execution positioned exactly at ``schedule``."""
+        current = self._current
+        if current is not None and tuple(current.schedule) == schedule:
+            return current
+        if (
+            current is not None
+            and not current.finished
+            and len(current.schedule) < len(schedule)
+            and tuple(current.schedule) == schedule[: len(current.schedule)]
+        ):
+            for tid in schedule[len(current.schedule) :]:
+                current.execute(tid)
+                self.replay_steps += 1
+            return current
+        execution = Execution(self.program, self.config)
+        self.replays += 1
+        for tid in schedule:
+            execution.execute(tid)
+            self.replay_steps += 1
+        self._current = execution
+        return execution
+
+    def execution_at(self, state: object) -> Execution:
+        """The live execution for ``state`` (replaying if needed)."""
+        return self._materialize(self._as_schedule(state))
+
+    @staticmethod
+    def _as_schedule(state: object) -> Schedule:
+        assert isinstance(state, tuple)
+        return state
+
+    # -- StateSpace interface -----------------------------------------------
+
+    def initial_state(self) -> Schedule:
+        return ()
+
+    def enabled(self, state: object) -> Tuple[ThreadId, ...]:
+        return self.execution_at(state).enabled_threads()
+
+    def execute(self, state: object, tid: ThreadId) -> Schedule:
+        execution = self.execution_at(state)
+        execution.execute(tid)
+        return tuple(execution.schedule)
+
+    def last_thread(self, state: object) -> Optional[ThreadId]:
+        schedule = self._as_schedule(state)
+        return schedule[-1] if schedule else None
+
+    def preemptions(self, state: object) -> int:
+        return self.execution_at(state).preemptions
+
+    def fingerprint(self, state: object) -> Hashable:
+        return self.execution_at(state).fingerprint()
+
+    def is_terminal(self, state: object) -> bool:
+        return self.execution_at(state).finished
+
+    def bugs(self, state: object) -> Tuple[BugReport, ...]:
+        return tuple(self.execution_at(state).bugs)
+
+    def schedule_of(self, state: object) -> Schedule:
+        return self._as_schedule(state)
+
+    def thread_count(self, state: object) -> Optional[int]:
+        return len(self.execution_at(state).threads)
+
+    @property
+    def supports_por(self) -> bool:
+        """Whether pending footprints are exact (EVERY_ACCESS only)."""
+        from .execution import SchedulingPolicy
+
+        return self.config.policy is SchedulingPolicy.EVERY_ACCESS
+
+    def pending_footprint(self, state: object, tid: ThreadId) -> frozenset:
+        """The shared objects ``tid``'s next step will touch."""
+        return self.execution_at(state).pending_footprint(tid)
+
+    # -- statistics helpers ---------------------------------------------------
+
+    def execution_stats(self, state: object) -> Tuple[int, int, int]:
+        """(total accesses K, blocking steps B, preemptions c) at state.
+
+        The quantities of Table 1 of the paper, measured on the
+        execution reaching ``state``.
+        """
+        execution = self.execution_at(state)
+        blocking = sum(t.blocking_steps for t in execution.threads.values())
+        return execution.total_accesses, blocking, execution.preemptions

@@ -1,0 +1,126 @@
+"""The world: registry of all shared state in one execution.
+
+A fresh :class:`World` is built for every execution by the program's
+setup function, so replays always start from identical initial state --
+the engine's determinism rests on this.  The world provides factory
+methods for every kind of shared object and computes the shared-state
+part of the execution's state fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import ProgramDefinitionError
+from .heap import HeapRef
+from .objects import SharedObject
+from .sync import (
+    Barrier,
+    CondVar,
+    CriticalSection,
+    Event,
+    Mutex,
+    RWLock,
+    Semaphore,
+)
+from .variables import AtomicVar, SharedVar, make_array
+
+
+class World:
+    """Registry and factory for the shared state of one execution.
+
+    Shared objects register themselves on construction; names must be
+    unique because the state fingerprint keys object snapshots by name
+    (names, unlike registration order, are canonical across equivalent
+    executions even when threads allocate dynamically).
+    """
+
+    def __init__(self) -> None:
+        self._objects: List[SharedObject] = []
+        self._by_name: Dict[str, SharedObject] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def _register(self, obj: SharedObject) -> int:
+        if obj.name in self._by_name:
+            raise ProgramDefinitionError(
+                f"duplicate shared object name {obj.name!r}; shared object "
+                "names must be unique within a program"
+            )
+        self._by_name[obj.name] = obj
+        self._objects.append(obj)
+        return len(self._objects) - 1
+
+    @property
+    def objects(self) -> List[SharedObject]:
+        """All registered shared objects, in registration order."""
+        return self._objects
+
+    def find(self, name: str) -> SharedObject:
+        """Look up a shared object by its unique name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ProgramDefinitionError(f"no shared object named {name!r}") from None
+
+    # -- factories ------------------------------------------------------
+
+    def var(self, name: str, initial: Any = None) -> SharedVar:
+        """A plain shared data variable."""
+        return SharedVar(self, name, initial)
+
+    def atomic(self, name: str, initial: Any = 0) -> AtomicVar:
+        """An atomic (synchronization) variable with interlocked ops."""
+        return AtomicVar(self, name, initial)
+
+    def array(self, name: str, values: list, atomic: bool = False):
+        """A shared array: one variable per element."""
+        return make_array(self, name, values, atomic=atomic)
+
+    def mutex(self, name: str, guard: Optional[HeapRef] = None) -> Mutex:
+        """A non-re-entrant lock."""
+        return Mutex(self, name, guard=guard)
+
+    def critical_section(
+        self, name: str, guard: Optional[HeapRef] = None
+    ) -> CriticalSection:
+        """A re-entrant Win32-style critical section."""
+        return CriticalSection(self, name, guard=guard)
+
+    def event(
+        self,
+        name: str,
+        initial: bool = False,
+        auto_reset: bool = False,
+        guard: Optional[HeapRef] = None,
+    ) -> Event:
+        """A Win32-style event."""
+        return Event(self, name, initial=initial, auto_reset=auto_reset, guard=guard)
+
+    def semaphore(
+        self, name: str, initial: int = 0, maximum: Optional[int] = None
+    ) -> Semaphore:
+        """A counting semaphore."""
+        return Semaphore(self, name, initial=initial, maximum=maximum)
+
+    def condvar(self, name: str) -> CondVar:
+        """A Mesa-style condition variable."""
+        return CondVar(self, name)
+
+    def rwlock(self, name: str) -> RWLock:
+        """A reader-writer lock."""
+        return RWLock(self, name)
+
+    def barrier(self, name: str, parties: int) -> Barrier:
+        """A one-shot N-party barrier (composite)."""
+        return Barrier(self, name, parties)
+
+    def alloc(self, name: str, **fields: Any) -> HeapRef:
+        """A heap object allocated before the program starts."""
+        return HeapRef(self, name, dict(fields))
+
+    # -- fingerprinting ---------------------------------------------------
+
+    def fingerprint(self) -> int:
+        """Order-independent hash of all shared-object states."""
+        return hash(frozenset((o.name, o.snapshot()) for o in self._objects))

@@ -1,0 +1,30 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Every table and figure of the evaluation section has a driver here,
+invoked by the corresponding benchmark in ``benchmarks/``:
+
+* :mod:`repro.experiments.characteristics` -- Table 1 (benchmark
+  characteristics: LOC, threads, max K/B/c);
+* :mod:`repro.experiments.bugs` -- Table 2 (bugs exposed per total
+  context bound);
+* :mod:`repro.experiments.coverage` -- Figures 1 and 4 (cumulative
+  state coverage per preemption bound) and Figures 2, 5 and 6
+  (coverage growth per executions explored, per strategy);
+* :mod:`repro.experiments.reporting` -- plain-text rendering of
+  tables and log-scale curve plots.
+"""
+
+from .bugs import BugsByBoundExperiment, bug_bound_table
+from .characteristics import characteristics_table
+from .coverage import coverage_by_bound, coverage_growth
+from .reporting import render_curves, render_table
+
+__all__ = [
+    "BugsByBoundExperiment",
+    "bug_bound_table",
+    "characteristics_table",
+    "coverage_by_bound",
+    "coverage_growth",
+    "render_curves",
+    "render_table",
+]

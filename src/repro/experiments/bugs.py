@@ -1,0 +1,76 @@
+"""The bug-exposure experiment (Table 2).
+
+For every benchmark program and every seeded-bug variant, run ICB with
+``stop_on_first_bug`` and record the preemption bound at which the bug
+is exposed.  Because ICB explores all executions with ``c``
+preemptions before any with ``c + 1``, the recorded bound is the
+*minimum* number of preemptions that exposes the defect -- the
+quantity Table 2 tabulates ("the number of bugs exposed in executions
+with exactly c preemptions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.transition import StateSpace
+from ..errors import BugReport
+from ..search.icb import IterativeContextBounding
+from ..search.strategy import SearchLimits
+
+SpaceFactory = Callable[[], StateSpace]
+
+
+@dataclass
+class BugsByBoundExperiment:
+    """Accumulates minimal exposure bounds across benchmark variants."""
+
+    max_bound: int = 4
+    max_seconds_per_variant: Optional[float] = None
+    #: program name -> list of (variant, bound or None, report or None).
+    results: Dict[str, List[Tuple[str, Optional[int], Optional[BugReport]]]] = field(
+        default_factory=dict
+    )
+
+    def run_variant(
+        self,
+        program_name: str,
+        variant: str,
+        space_factory: SpaceFactory,
+        state_caching: bool = False,
+    ) -> Optional[BugReport]:
+        """Find the minimal-preemption bug of one seeded variant."""
+        strategy = IterativeContextBounding(
+            max_bound=self.max_bound, state_caching=state_caching
+        )
+        limits = SearchLimits(
+            stop_on_first_bug=True, max_seconds=self.max_seconds_per_variant
+        )
+        result = strategy.run(space_factory(), limits=limits)
+        report = result.first_bug
+        bound = report.preemptions if report else None
+        self.results.setdefault(program_name, []).append((variant, bound, report))
+        return report
+
+    def table_rows(self, max_column: int = 3) -> List[List[object]]:
+        """Rows in the shape of Table 2: bugs found per context bound."""
+        rows: List[List[object]] = []
+        for program, variants in self.results.items():
+            counts = [0] * (max_column + 1)
+            found = 0
+            for _, bound, _ in variants:
+                if bound is not None:
+                    found += 1
+                    if bound <= max_column:
+                        counts[bound] += 1
+            rows.append([program, found] + counts)
+        return rows
+
+
+def bug_bound_table(
+    experiment: BugsByBoundExperiment, max_column: int = 3
+) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) matching Table 2's layout."""
+    headers = ["Program", "Bugs"] + [str(c) for c in range(max_column + 1)]
+    return headers, experiment.table_rows(max_column)

@@ -1,0 +1,89 @@
+"""Coverage experiments (Figures 1, 2, 4, 5 and 6).
+
+Two measurements, matching the paper's two coverage claims:
+
+* **Coverage per preemption bound** (Figures 1 and 4): the cumulative
+  fraction of all reachable states covered by executions with at most
+  ``c`` preemptions.  One exhaustive ICB run yields the whole curve:
+  ICB visits states in increasing bound order, so each state's
+  first-visit bound is the minimum number of preemptions needed to
+  reach it.
+
+* **Coverage growth per executions explored** (Figures 2, 5 and 6):
+  distinct states visited as a function of complete executions run,
+  compared across strategies under a fixed execution budget.  This is
+  the experiment showing ICB "achieves significantly better coverage
+  at a faster rate" than dfs, random and depth-bounded search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.transition import StateSpace
+from ..search.strategy import SearchLimits, SearchResult, Strategy
+from ..search.icb import IterativeContextBounding
+
+SpaceFactory = Callable[[], StateSpace]
+
+
+def coverage_by_bound(
+    space_factory: SpaceFactory,
+    max_bound: Optional[int] = None,
+    limits: Optional[SearchLimits] = None,
+    state_caching: bool = False,
+) -> Tuple[List[Tuple[int, int, float]], SearchResult]:
+    """Cumulative state coverage per preemption bound (Figures 1/4).
+
+    Returns ``(curve, result)`` where each curve row is
+    ``(bound, states with first-visit bound <= bound, fraction)``; the
+    fraction is relative to all states the (ideally exhaustive) run
+    visited.
+    """
+    strategy = IterativeContextBounding(
+        max_bound=max_bound, state_caching=state_caching
+    )
+    result = strategy.run(space_factory(), limits=limits)
+    histogram = result.context.states_by_bound()
+    total = sum(histogram.values())
+    curve: List[Tuple[int, int, float]] = []
+    running = 0
+    for bound in range(max(histogram) + 1 if histogram else 1):
+        running += histogram.get(bound, 0)
+        curve.append((bound, running, running / total if total else 1.0))
+    return curve, result
+
+
+def coverage_growth(
+    space_factory: SpaceFactory,
+    strategies: Dict[str, Strategy],
+    max_executions: int,
+    max_seconds: Optional[float] = None,
+) -> Dict[str, SearchResult]:
+    """Distinct states vs executions, per strategy (Figures 2/5/6).
+
+    Each strategy runs on a fresh space under the same execution
+    budget; the returned results carry the coverage history
+    ``[(executions, distinct states), ...]`` that the figures plot.
+    """
+    results: Dict[str, SearchResult] = {}
+    for label, strategy in strategies.items():
+        limits = SearchLimits(
+            max_executions=max_executions, max_seconds=max_seconds
+        )
+        results[label] = strategy.run(space_factory(), limits=limits)
+    return results
+
+
+def history_series(
+    results: Dict[str, SearchResult], sample_every: int = 1
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Convert search results into plottable (executions, states) series."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for label, result in results.items():
+        history = result.history
+        sampled = history[::sample_every] if sample_every > 1 else history
+        if history and sampled and sampled[-1] != history[-1]:
+            sampled = sampled + [history[-1]]
+        series[label] = [(float(x), float(y)) for x, y in sampled]
+    return series

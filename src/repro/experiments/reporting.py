@@ -1,0 +1,110 @@
+"""Plain-text rendering of experiment tables and curves.
+
+The benchmark harness prints the same rows and series the paper
+reports; these helpers keep that output readable in a terminal and in
+the captured benchmark logs: aligned tables and ASCII line charts with
+optional logarithmic y axes (Figures 2, 5 and 6 are log-scale).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_curves(
+    series: Dict[str, List[Point]],
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled line series as an ASCII chart.
+
+    Each series gets a marker character; the legend maps markers back
+    to labels.  With ``log_y`` the vertical axis is logarithmic, as in
+    the paper's coverage-growth figures.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if log_y:
+        y_floor = min((y for y in ys if y > 0), default=1.0)
+        y_min = max(y_min, y_floor)
+        y_max = max(y_max, y_min)
+
+    def scale_x(x: float) -> int:
+        if x_max == x_min:
+            return 0
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def scale_y(y: float) -> int:
+        if log_y:
+            y = max(y, y_min)
+            lo, hi = math.log10(y_min), math.log10(max(y_max, y_min * 1.0000001))
+            frac = 0.0 if hi == lo else (math.log10(y) - lo) / (hi - lo)
+        else:
+            frac = 0.0 if y_max == y_min else (y - y_min) / (y_max - y_min)
+        return round(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (label, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {label}")
+        for x, y in pts:
+            if log_y and y <= 0:
+                continue
+            col = scale_x(x)
+            row = height - 1 - scale_y(y)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{y_max:g}"
+    bottom = f"{y_min:g}"
+    margin = max(len(top), len(bottom)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    axis = f"{x_min:g}".ljust(width - len(f"{x_max:g}")) + f"{x_max:g}"
+    lines.append(" " * (margin + 1) + axis)
+    lines.append(" " * (margin + 1) + f"({x_label} vs {y_label}"
+                 + (", log y)" if log_y else ")"))
+    lines.append("  legend: " + "; ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Execution monitors.
+
+The engine has built-in detectors for deadlock, assertion failures,
+lock-usage errors, use-after-free/double-free and data races.  This
+package adds the pluggable monitor protocol for program-specific
+properties: monitors observe every step of every explored execution
+and report bugs through the execution, so a violated invariant carries
+the same minimal-preemption witness as any built-in bug.
+
+The paper frames such dynamic analyses (race detection, atomicity
+checking, ...) as "program monitors which can be applied to each
+execution explored by iterative context-bounding" (Section 5).
+"""
+
+from .monitor import (
+    FinalStateMonitor,
+    InvariantMonitor,
+    Monitor,
+    TraceCollector,
+    monitor_factory,
+)
+
+__all__ = [
+    "FinalStateMonitor",
+    "InvariantMonitor",
+    "Monitor",
+    "TraceCollector",
+    "monitor_factory",
+]

@@ -1,0 +1,100 @@
+"""The monitor protocol and general-purpose monitors.
+
+Monitors are created per execution through factories listed in
+:class:`~repro.core.execution.ExecutionConfig`; the helper
+:func:`monitor_factory` turns a monitor class and its arguments into
+such a factory::
+
+    config = ExecutionConfig(monitors=(
+        monitor_factory(InvariantMonitor, "non-negative balance",
+                        lambda ex: ex.world.find("balance").value >= 0),
+    ))
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List
+
+from ..errors import BugKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.execution import Execution, StepRecord
+
+
+class Monitor:
+    """Base class: observes an execution's steps and terminal state."""
+
+    def on_step(self, execution: "Execution", record: "StepRecord") -> None:
+        """Called after every scheduling step."""
+
+    def on_terminal(self, execution: "Execution") -> None:
+        """Called once when the execution reaches a terminal state."""
+
+
+def monitor_factory(cls: type, *args: Any, **kwargs: Any) -> Callable[["Execution"], Monitor]:
+    """Build an :class:`ExecutionConfig`-compatible monitor factory.
+
+    The factory ignores the execution argument unless the monitor class
+    declares ``wants_execution = True``, in which case the execution is
+    passed as the first constructor argument.
+    """
+
+    def factory(execution: "Execution") -> Monitor:
+        if getattr(cls, "wants_execution", False):
+            return cls(execution, *args, **kwargs)
+        return cls(*args, **kwargs)
+
+    return factory
+
+
+class InvariantMonitor(Monitor):
+    """Checks a global invariant at every scheduling point.
+
+    The predicate receives the execution and returns truth; a falsy
+    result is reported as an INVARIANT bug.  Scheduling points are the
+    only places other threads can observe state, so checking there is
+    exactly as strong as checking after every shared access.
+    """
+
+    def __init__(self, name: str, predicate: Callable[["Execution"], bool]) -> None:
+        self.name = name
+        self.predicate = predicate
+
+    def on_step(self, execution: "Execution", record: "StepRecord") -> None:
+        if not self.predicate(execution):
+            execution.report_bug(
+                BugKind.INVARIANT,
+                f"invariant violated: {self.name}",
+                thread=record.tid,
+            )
+
+
+class FinalStateMonitor(Monitor):
+    """Checks a predicate only at terminal states.
+
+    Theorem 2 of the paper shows that errors expressible as predicates
+    on terminating states are preserved by the sync-only reduction, so
+    this is the natural place for whole-run postconditions (e.g. "every
+    pushed item was popped exactly once").
+    """
+
+    def __init__(self, name: str, predicate: Callable[["Execution"], bool]) -> None:
+        self.name = name
+        self.predicate = predicate
+
+    def on_terminal(self, execution: "Execution") -> None:
+        if not self.predicate(execution):
+            execution.report_bug(
+                BugKind.INVARIANT,
+                f"postcondition violated: {self.name}",
+            )
+
+
+class TraceCollector(Monitor):
+    """Accumulates step records (debugging aid for tests and examples)."""
+
+    def __init__(self) -> None:
+        self.records: List["StepRecord"] = []
+
+    def on_step(self, execution: "Execution", record: "StepRecord") -> None:
+        self.records.append(record)

@@ -1,0 +1,45 @@
+"""Benchmark programs.
+
+The six programs of the paper's evaluation (Table 1):
+
+* :mod:`repro.programs.bluetooth` -- the Bluetooth PnP driver model
+  (stop vs. worker race);
+* :mod:`repro.programs.filesystem` -- the file-system model of
+  Flanagan & Godefroid (inode/block allocation under fine-grained
+  locks);
+* :mod:`repro.programs.workstealqueue` -- the Cilk-style work-stealing
+  deque over a bounded circular buffer, plus its three seeded bugs;
+* :mod:`repro.programs.ape` -- an asynchronous processing environment
+  (APE) model with four seeded bugs;
+* :mod:`repro.programs.dryad` -- a Dryad-style channel library with
+  the Figure 3 use-after-free and four more seeded bugs;
+* :mod:`repro.programs.transaction_manager` -- the transaction manager
+  as an explicit-state ZING model with three seeded bugs.
+
+plus :mod:`repro.programs.toy` (racy counters, Dekker, Peterson,
+producer/consumer, deadlocks -- the unit/property-test corpus) and
+:mod:`repro.programs.classic` (Treiber stack, ticket lock, SPSC ring
+buffer -- lock-free idioms with seeded publication bugs).
+"""
+
+from . import (
+    ape,
+    bluetooth,
+    classic,
+    dryad,
+    filesystem,
+    toy,
+    transaction_manager,
+    workstealqueue,
+)
+
+__all__ = [
+    "ape",
+    "bluetooth",
+    "classic",
+    "dryad",
+    "filesystem",
+    "toy",
+    "transaction_manager",
+    "workstealqueue",
+]

@@ -1,0 +1,181 @@
+"""The APE (Asynchronous Processing Environment) benchmark.
+
+The paper describes APE as "a set of data structures and functions
+that provide logical structure and debugging support to asynchronous
+multithreaded code", used inside Windows, tested with a driver where
+"the main thread initializes APE's data structures, creates two worker
+threads, and finally waits for them to finish" (Table 1: 4 threads).
+The original is proprietary; this model reconstructs the benchmark's
+concurrency structure: a buffer pool under a lock, per-buffer
+ownership records, an operations counter used by the debugging
+support, and a completion thread that finalizes the environment once
+all workers have reported.
+
+ICB found 4 previously unknown bugs in APE; per Table 2 two were
+exposed with 0 preemptions, one with 1 and one with 2.  The seeded
+defects here reproduce those shapes (see :data:`VARIANTS`):
+
+* ``init-race`` (0 preemptions): the start-up handshake is inverted --
+  main waits for the workers to announce themselves *before*
+  initializing the pool, so a worker can consume the pool
+  uninitialized.  Nonpreempting switches alone (main blocks on the
+  handshake) expose it.
+* ``early-return`` (0 preemptions): the worker that completes last
+  signals the completion event and returns early, skipping its buffer
+  release; the finalizer observes the leak.  Again reachable with
+  voluntary switches only.
+* ``stats-race`` (1 preemption): the operations counter is updated
+  with a split atomic read/write instead of under the stats lock; one
+  preemption between them loses an update.
+* ``double-take`` (2 preemptions): buffer acquisition releases the
+  pool lock between sizing the free list and indexing into it; two
+  interleaved windows hand the same buffer to both workers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.effects import join, spawn
+from ..core.program import Program, check
+from ..core.world import World
+
+#: The seeded-bug variant names with their expected exposure bounds.
+VARIANTS: Tuple[str, ...] = (
+    "init-race",
+    "early-return",
+    "stats-race",
+    "double-take",
+)
+
+
+def ape(variant: str = "correct", buffers: int = 2, workers: int = 2) -> Program:
+    """Build the APE benchmark.
+
+    Args:
+        variant: "correct" or one of :data:`VARIANTS`.
+        buffers: pool size (>= ``workers`` so takes never block).
+        workers: worker threads exercising the API (the paper's driver
+            uses 2; with main and the completion thread that is 4
+            threads, matching Table 1).
+    """
+    if variant != "correct" and variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+    if buffers < workers:
+        raise ValueError("the driver assumes enough buffers for all workers")
+
+    def setup(w: World):
+        pool_lock = w.mutex("pool.lock")
+        pool_free = w.var("pool.free", None)  # None until initialized
+        owner = w.array("owner", [None] * buffers)
+        payload = w.array("payload", [0] * buffers)
+        stats_lock = w.mutex("stats.lock")
+        ops = w.atomic("stats.ops", 0)
+        ready = w.event("workers.ready")
+        completed = w.atomic("completed", 0)
+        all_done = w.event("all.done")
+        finalized = w.atomic("finalized", 0)
+
+        def init_pool():
+            yield pool_lock.acquire()
+            yield pool_free.write(tuple(range(buffers)))
+            yield pool_lock.release()
+
+        def take_buffer(me: int):
+            if variant == "double-take":
+                # BUG: size the free list in one critical section, index
+                # into it in another.
+                yield pool_lock.acquire()
+                free = yield pool_free.read()
+                check(free is not None, "pool used before initialization")
+                n = len(free)
+                yield pool_lock.release()
+                yield pool_lock.acquire()
+                free = yield pool_free.read()
+                buf = free[n - 1]
+                yield pool_free.write(free[: n - 1])
+            else:
+                yield pool_lock.acquire()
+                free = yield pool_free.read()
+                check(free is not None, "pool used before initialization")
+                buf = free[-1]
+                yield pool_free.write(free[:-1])
+            holder = yield owner[buf].read()
+            check(holder is None, f"buffer {buf} handed out twice")
+            yield owner[buf].write(me)
+            yield pool_lock.release()
+            return buf
+
+        def release_buffer(buf: int):
+            yield pool_lock.acquire()
+            free = yield pool_free.read()
+            yield pool_free.write(free + (buf,))
+            yield owner[buf].write(None)
+            yield pool_lock.release()
+
+        def bump_ops():
+            if variant == "stats-race":
+                # BUG: split read/write without the stats lock.
+                count = yield ops.read()
+                yield ops.write(count + 1)
+            else:
+                yield stats_lock.acquire()
+                count = yield ops.read()
+                yield ops.write(count + 1)
+                yield stats_lock.release()
+
+        def worker(me: int):
+            if variant == "init-race":
+                yield ready.set()
+            buf = yield from take_buffer(me)
+            yield payload[buf].write(me + 1)
+            yield from bump_ops()
+            if variant == "early-return":
+                done = yield completed.add(1)
+                if done == workers:
+                    # BUG: report completion and bail out, leaking the
+                    # buffer the finalizer expects back in the pool.
+                    yield all_done.set()
+                    return
+                yield from release_buffer(buf)
+            else:
+                yield from release_buffer(buf)
+                done = yield completed.add(1)
+                if done == workers:
+                    yield all_done.set()
+
+        def completer():
+            yield all_done.wait()
+            yield pool_lock.acquire()
+            free = yield pool_free.read()
+            check(
+                free is not None and len(free) == buffers,
+                f"finalize with {0 if free is None else len(free)} of "
+                f"{buffers} buffers returned",
+            )
+            yield pool_lock.release()
+            total = yield ops.read()
+            check(total == workers, f"debug stats lost updates: {total}/{workers}")
+            yield finalized.write(1)
+
+        def main():
+            handles = []
+            if variant == "init-race":
+                # BUG: wait for the workers before initializing.
+                for i in range(workers):
+                    handles.append((yield spawn(worker, i, name=f"worker{i}")))
+                yield ready.wait()
+                yield from init_pool()
+            else:
+                yield from init_pool()
+                for i in range(workers):
+                    handles.append((yield spawn(worker, i, name=f"worker{i}")))
+            completion = yield spawn(completer, name="completer")
+            for handle in handles:
+                yield join(handle)
+            yield join(completion)
+
+        return {"main": main}
+
+    name = "ape" if variant == "correct" else f"ape-{variant}"
+    return Program(name, setup)

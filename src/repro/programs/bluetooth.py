@@ -1,0 +1,92 @@
+"""The Bluetooth PnP driver benchmark.
+
+The paper's first benchmark: "a sample Bluetooth Plug and Play driver
+modified to run as a library in user space ... capturing the
+synchronization and logic required for basic PnP functionality", with
+a driver of three threads "emulat[ing] the scenario of the driver being
+stopped when worker threads are performing operations" (Table 1: 3
+threads).  This is the same driver studied by Qadeer & Wu's KISS, whose
+defect is the canonical one-preemption concurrency bug:
+
+* the stop routine sets ``stoppingFlag``, releases its reference to
+  the device (``IoDecrement``), waits for the in-flight I/O count to
+  drain, and marks the driver ``stopped``;
+* a worker's I/O dispatch checks ``stoppingFlag`` and -- in the buggy
+  version -- only *then* increments ``pendingIo``.  A preemption in
+  that window lets the stop routine drain the count to zero and
+  complete, after which the worker touches a stopped driver.
+
+The fixed version increments first and re-checks, which closes the
+window; ICB certifies it up to any bound the state space allows.
+
+Counters and flags are atomic variables, matching the driver's use of
+``InterlockedIncrement``/``InterlockedDecrement`` on aligned words.
+"""
+
+from __future__ import annotations
+
+from ..core.program import Program, check
+from ..core.world import World
+
+
+def bluetooth(buggy: bool = True, workers: int = 2) -> Program:
+    """Build the Bluetooth driver benchmark.
+
+    Args:
+        buggy: use the shipped (check-then-increment) ``IoIncrement``;
+            ``False`` uses the fixed increment-then-recheck version.
+        workers: number of worker threads performing driver I/O (the
+            paper's driver uses 2, for 3 threads total).
+    """
+
+    def setup(w: World):
+        pending_io = w.atomic("pendingIo", 1)
+        stopping_flag = w.atomic("stoppingFlag", 0)
+        stopped = w.atomic("driverStopped", 0)
+        stopping_event = w.event("stoppingEvent")
+
+        def io_decrement():
+            remaining = yield pending_io.add(-1)
+            if remaining == 0:
+                yield stopping_event.set()
+
+        def io_increment_buggy():
+            """BUG: the flag check races with the stop routine."""
+            flag = yield stopping_flag.read()
+            if flag:
+                return -1
+            yield pending_io.add(1)
+            return 0
+
+        def io_increment_fixed():
+            """Increment first, then re-check; back out if stopping."""
+            yield pending_io.add(1)
+            flag = yield stopping_flag.read()
+            if flag:
+                yield from io_decrement()
+                return -1
+            return 0
+
+        io_increment = io_increment_buggy if buggy else io_increment_fixed
+
+        def worker():
+            status = yield from io_increment()
+            if status == 0:
+                # Perform driver work: the driver must not be stopped
+                # while a dispatched operation is in flight.
+                is_stopped = yield stopped.read()
+                check(not is_stopped, "driver touched after being stopped")
+                yield from io_decrement()
+
+        def stopper():
+            yield stopping_flag.write(1)
+            yield from io_decrement()
+            yield stopping_event.wait()
+            yield stopped.write(1)
+
+        threads = {f"worker{i}": worker for i in range(workers)}
+        threads["stopper"] = stopper
+        return threads
+
+    suffix = "" if buggy else "-fixed"
+    return Program(f"bluetooth{suffix}", setup)

@@ -1,0 +1,210 @@
+"""Classic concurrent data structures as a library corpus.
+
+Beyond the paper's six benchmarks, these are the structures systematic
+concurrency checkers are habitually pointed at: a Treiber lock-free
+stack, a ticket lock, and a Lamport single-producer/single-consumer
+ring buffer.  Each comes with a correct version (certified by the test
+suite to a preemption bound) and a seeded-bug variant exposing the
+idiom's canonical mistake at a small bound.
+
+They double as worked examples for the corners of the runtime the
+paper benchmarks do not exercise: object references stored *inside*
+shared variables (the Treiber head), fetch-and-add fairness (the
+ticket lock), and index-publication ordering (the ring buffer).
+"""
+
+from __future__ import annotations
+
+from ..core.effects import alloc, join, spawn
+from ..core.program import Program, check
+from ..core.world import World
+
+
+def treiber_stack(
+    pushers: int = 2, values_each: int = 1, broken: bool = False
+) -> Program:
+    """A Treiber lock-free stack with push/pop via CAS on the head.
+
+    Pushers allocate nodes and push them while a popper concurrently
+    pops; main joins everyone, drains the remainder, and asserts every
+    pushed value was taken exactly once.  Nodes are never freed, so the
+    classic ABA hazard is out of scope; the seeded bug (``broken=True``)
+    is the other canonical Treiber mistake: publishing the node *before*
+    linking its ``next`` pointer, so a concurrent pop can read a null
+    ``next`` and truncate the stack, losing values.
+    """
+
+    def setup(w: World):
+        head = w.atomic("head", None)
+        popped_log = w.var("popped_log", ())
+
+        def push(value):
+            node = yield alloc("node", value=value, next=None)
+            if broken:
+                # BUG: expose the node first, link afterwards.
+                while True:
+                    old = yield head.read()
+                    if (yield head.cas(old, node)):
+                        break
+                yield node.write("next", old)
+            else:
+                while True:
+                    old = yield head.read()
+                    yield node.write("next", old)
+                    if (yield head.cas(old, node)):
+                        break
+
+        def pop():
+            while True:
+                old = yield head.read()
+                if old is None:
+                    return None
+                successor = yield old.read("next")
+                if (yield head.cas(old, successor)):
+                    value = yield old.read("value")
+                    return value
+
+        def pusher(base):
+            for index in range(values_each):
+                yield from push(base * 100 + index)
+
+        def popper():
+            taken = []
+            for _ in range(pushers * values_each):
+                value = yield from pop()
+                if value is not None:
+                    taken.append(value)
+            yield popped_log.write(tuple(taken))
+
+        def main():
+            handles = []
+            for i in range(pushers):
+                handles.append((yield spawn(pusher, i + 1, name=f"push{i}")))
+            handles.append((yield spawn(popper, name="popper")))
+            for handle in handles:
+                yield join(handle)
+            taken = list((yield popped_log.read()))
+            while True:
+                value = yield from pop()
+                if value is None:
+                    break
+                taken.append(value)
+            expected = sorted(
+                base * 100 + index
+                for base in range(1, pushers + 1)
+                for index in range(values_each)
+            )
+            check(
+                sorted(taken) == expected,
+                f"stack lost or duplicated values: {sorted(taken)} != {expected}",
+            )
+
+        return {"main": main}
+
+    name = "treiber-broken" if broken else "treiber"
+    return Program(name, setup)
+
+
+def ticket_lock(
+    threads: int = 2, spins: int = 12, broken: bool = False
+) -> Program:
+    """A ticket lock: fetch-and-add tickets, spin on now-serving.
+
+    The critical section asserts mutual exclusion with an occupancy
+    counter.  Spins are bounded (a thread that never gets served gives
+    up without entering), keeping the state space finite while
+    preserving safety.  The seeded bug skips the ticket draw and spins
+    on the *current* serving value -- the classic torn-down fast path
+    that lets two threads enter together.
+    """
+
+    def setup(w: World):
+        next_ticket = w.atomic("next_ticket", 0)
+        serving = w.atomic("serving", 0)
+        occupancy = w.atomic("occupancy", 0)
+        done = w.atomic("done", 0)
+
+        def worker():
+            if broken:
+                # BUG: no ticket; wait until the lock "looks" free.
+                my_turn = yield serving.read()
+            else:
+                my_turn = (yield next_ticket.add(1)) - 1
+            entered = False
+            for _ in range(spins):
+                now = yield serving.read()
+                if now == my_turn:
+                    entered = True
+                    break
+            if entered:
+                inside = yield occupancy.add(1)
+                check(inside == 1, "two threads inside the ticket lock")
+                yield occupancy.add(-1)
+                yield serving.add(1)
+            else:
+                # Gave up: hand the turn on so others are not starved.
+                yield done.add(1)
+
+        return {f"t{i}": worker for i in range(threads)}
+
+    name = "ticket-lock-broken" if broken else "ticket-lock"
+    return Program(name, setup)
+
+
+def spsc_ring(
+    capacity: int = 2, items: int = 3, broken: bool = False
+) -> Program:
+    """Lamport's single-producer/single-consumer ring buffer.
+
+    Indices are atomic; slots are plain data variables, so the race
+    detector guards the publication protocol itself.  The seeded bug
+    publishes the write index *before* storing the item, the canonical
+    ordering mistake, surfacing as a data race on the slot (or a torn
+    read of the previous generation's value).
+    """
+
+    def setup(w: World):
+        slots = w.array("slot", [None] * capacity)
+        write_index = w.atomic("write_index", 0)
+        read_index = w.atomic("read_index", 0)
+
+        def producer():
+            produced = 0
+            attempts = 0
+            while produced < items and attempts < items * 8:
+                attempts += 1
+                wi = yield write_index.read()
+                ri = yield read_index.read()
+                if wi - ri >= capacity:
+                    continue  # full; retry (bounded)
+                if broken:
+                    # BUG: bump the index before storing the item.
+                    yield write_index.write(wi + 1)
+                    yield slots[wi % capacity].write(produced + 1)
+                else:
+                    yield slots[wi % capacity].write(produced + 1)
+                    yield write_index.write(wi + 1)
+                produced += 1
+
+        def consumer():
+            total = 0
+            consumed = 0
+            attempts = 0
+            while consumed < items and attempts < items * 8:
+                attempts += 1
+                ri = yield read_index.read()
+                wi = yield write_index.read()
+                if ri >= wi:
+                    continue  # empty; retry (bounded)
+                value = yield slots[ri % capacity].read()
+                yield read_index.write(ri + 1)
+                check(value == consumed + 1, f"torn or reordered read: {value}")
+                total += value
+                consumed += 1
+            if consumed == items:
+                check(total == items * (items + 1) // 2, "wrong sum consumed")
+
+        return {"producer": producer, "consumer": consumer}
+
+    name = "spsc-ring-broken" if broken else "spsc-ring"
+    return Program(name, setup)

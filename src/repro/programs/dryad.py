@@ -1,0 +1,210 @@
+"""The Dryad channels benchmark.
+
+Dryad is Microsoft's distributed data-flow execution engine; the
+paper's test harness (provided by Dryad's lead developer) "has 5
+threads and exercises the shared-memory channel library used for
+communication between the nodes in the data-flow graph".  ICB found 5
+previously unknown bugs in it; per Table 2 one was exposed with 0
+preemptions and four with exactly 1.
+
+The original is proprietary; this model reconstructs the channel
+library's concurrency structure around the bug the paper details in
+Figure 3: a channel object owning worker threads, a work queue feeding
+them, a ``Close`` that hands a STOP message to every worker, and a
+main thread that deletes the channel after ``Close`` returns under the
+*wrong assumption* that ``Close`` waits for the workers to be finished.
+
+Five threads: main, three channel workers and an application monitor.
+
+Seeded bugs (:data:`VARIANTS`):
+
+* ``missing-handler`` (0 preemptions): main attaches the application
+  handler only after ``Close``; any worker that processes a data item
+  dereferences a null handler.  Voluntary switches alone expose it.
+* ``use-after-free`` (1 preemption): the Figure 3 bug.  A worker
+  acknowledges the STOP (releasing ``Close``) *before* its cleanup
+  call to ``AlertApplication``; preempting the worker right before
+  ``EnterCriticalSection(&channel->m_baseCS)`` lets main return from
+  ``Close`` and delete the channel, so the worker then enters a
+  critical section inside freed memory.  The witness has one
+  preemption and several nonpreempting switches, as in the paper.
+* ``refcount-race`` (1 preemption): workers drop their channel
+  reference with a split read/write instead of an interlocked
+  decrement; one preemption loses a decrement and the final count is
+  wrong.
+* ``close-sem-race`` (1 preemption): ``Close`` signals the item
+  semaphore *before* appending the STOP message under the queue lock;
+  a preempted ``Close`` lets a worker pass the semaphore and find the
+  queue empty.
+* ``double-free`` (1 preemption): a last-worker cleanup path and main
+  race on a check-then-act "who frees the channel" flag; one
+  preemption makes both free it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.effects import join, spawn
+from ..core.program import Program, check
+from ..core.world import World
+
+#: Message sentinel closing a worker.
+STOP = "<stop>"
+
+#: The seeded-bug variant names.
+VARIANTS: Tuple[str, ...] = (
+    "missing-handler",
+    "use-after-free",
+    "refcount-race",
+    "close-sem-race",
+    "double-free",
+)
+
+
+def dryad_channels(
+    variant: str = "correct", workers: int = 3, data_items: int = 2
+) -> Program:
+    """Build the Dryad channel benchmark.
+
+    Args:
+        variant: "correct" or one of :data:`VARIANTS`.
+        workers: channel worker threads (3, for 5 threads total with
+            main and the application monitor, matching Table 1).
+        data_items: payload messages sent before Close.
+    """
+    if variant != "correct" and variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+
+    def setup(w: World):
+        channel = w.alloc("channel", handler=None, processed=0, alerts=0)
+        base_cs = w.critical_section("m_baseCS", guard=channel)
+        queue_lock = w.mutex("queue.lock")
+        queue_items = w.var("queue.items", ())
+        items_sem = w.semaphore("queue.sem", initial=0)
+        outstanding = w.atomic("outstanding", workers)
+        drained = w.event("drained")
+        refs = w.atomic("refs", 1 + workers)  # main's + one per worker
+        freed_flag = w.atomic("freed_flag", 0)
+        app_signal = w.event("app.signal")
+        app_notified = w.atomic("app.notified", 0)
+
+        def post(message):
+            """Append a message to the channel's work queue."""
+            if variant == "close-sem-race" and message is STOP:
+                # BUG: wake a worker before the message is in the queue.
+                yield items_sem.release()
+                yield queue_lock.acquire()
+                pending = yield queue_items.read()
+                yield queue_items.write(pending + (message,))
+                yield queue_lock.release()
+            else:
+                yield queue_lock.acquire()
+                pending = yield queue_items.read()
+                yield queue_items.write(pending + (message,))
+                yield queue_lock.release()
+                yield items_sem.release()
+
+        def take():
+            """Block for the next message, FIFO."""
+            yield items_sem.acquire()
+            yield queue_lock.acquire()
+            pending = yield queue_items.read()
+            check(len(pending) > 0, "queue empty despite signalled semaphore")
+            yield queue_items.write(pending[1:])
+            yield queue_lock.release()
+            return pending[0]
+
+        def alert_application():
+            """The cleanup notification of Figure 3."""
+            yield base_cs.enter()  # UAF here if the channel was deleted
+            count = yield channel.read("alerts")
+            yield channel.write("alerts", count + 1)
+            yield base_cs.leave()
+            yield app_signal.set()
+
+        def drop_reference():
+            if variant == "refcount-race":
+                # BUG: split read/write instead of interlocked decrement.
+                count = yield refs.read()
+                yield refs.write(count - 1)
+            else:
+                yield refs.add(-1)
+
+        def worker():
+            while True:
+                message = yield from take()
+                if message is STOP:
+                    if variant == "use-after-free":
+                        # BUG: release Close before the cleanup alert.
+                        remaining = yield outstanding.add(-1)
+                        if remaining == 0:
+                            yield drained.set()
+                        yield from drop_reference()
+                        yield from alert_application()
+                    else:
+                        yield from alert_application()
+                        yield from drop_reference()
+                        remaining = yield outstanding.add(-1)
+                        if remaining == 0:
+                            yield drained.set()
+                            if variant == "double-free":
+                                # Last worker out cleans up -- racing
+                                # with main's own cleanup-after-Close.
+                                yield from maybe_free()
+                    return
+                handler = yield channel.read("handler")
+                check(handler is not None, "message dispatched with no handler")
+                yield base_cs.enter()
+                done = yield channel.read("processed")
+                yield channel.write("processed", done + 1)
+                yield base_cs.leave()
+
+        def maybe_free():
+            """Check-then-act 'who frees the channel' (double-free bug)."""
+            already = yield freed_flag.read()
+            if not already:
+                yield freed_flag.write(1)
+                yield channel.free()
+
+        def app_monitor():
+            yield app_signal.wait()
+            yield app_notified.write(1)
+
+        def close():
+            """RChannelReader::Close: stop every worker and wait for
+            the drain acknowledgement (but, in the buggy variants, not
+            for the workers' cleanup to finish)."""
+            for _ in range(workers):
+                yield from post(STOP)
+            yield drained.wait()
+
+        def main():
+            handles = []
+            for i in range(workers):
+                handles.append((yield spawn(worker, name=f"worker{i}")))
+            monitor = yield spawn(app_monitor, name="app")
+            if variant != "missing-handler":
+                yield channel.write("handler", "app-handler")
+            for item in range(data_items):
+                yield from post(f"item{item}")
+            yield from close()
+            if variant == "missing-handler":
+                # BUG: attached only after Close -- too late.
+                yield channel.write("handler", "app-handler")
+            if variant == "double-free":
+                yield from maybe_free()
+            elif variant == "use-after-free":
+                # Figure 3: "wrong assumption that channel->Close()
+                # waits for worker threads to be finished".
+                yield channel.free()
+            for handle in handles:
+                yield join(handle)
+            yield join(monitor)
+            remaining = yield refs.read()
+            check(remaining == 1, f"reference count corrupted: {remaining}")
+
+        return {"main": main}
+
+    name = "dryad" if variant == "correct" else f"dryad-{variant}"
+    return Program(name, setup)

@@ -1,0 +1,70 @@
+"""The file-system model benchmark.
+
+"A simplified model of a file system derived [from] prior work (see
+Figure 7 in [7])" -- the inode/block allocator of Flanagan &
+Godefroid's dynamic partial-order reduction paper.  Each of several
+processes picks an inode (by thread index modulo the inode count),
+locks it, and if the inode has no block yet, searches the block table
+for a free block under per-block locks, claims it and records it in
+the inode.
+
+The program is correct (no seeded bug); in the paper it is one of the
+fully-searchable programs of Figure 4, where executions with at most
+four preemptions already cover the entire state space.  The default
+sizes are scaled down from the original (26 blocks / 32 inodes) to
+keep exhaustive search laptop-fast while preserving the contention
+structure: multiple threads share an inode, and block probing overlaps
+across inodes.
+"""
+
+from __future__ import annotations
+
+from ..core.program import Program, check
+from ..core.world import World
+
+
+def filesystem(
+    threads: int = 4, inodes: int = 2, blocks: int = 4
+) -> Program:
+    """Build the file-system model.
+
+    Args:
+        threads: allocator processes (the paper's driver uses 4).
+        inodes: number of inodes; thread ``t`` works on inode
+            ``t % inodes``, so ``threads > inodes`` creates the
+            sharing the benchmark is about.
+        blocks: number of blocks; inode ``i`` starts probing at block
+            ``(i * 2) % blocks`` so probe sequences overlap.
+    """
+    if blocks < threads:
+        raise ValueError("need at least one block per thread to guarantee termination")
+
+    def setup(w: World):
+        inode_locks = [w.mutex(f"locki[{i}]") for i in range(inodes)]
+        block_locks = [w.mutex(f"lockb[{b}]") for b in range(blocks)]
+        inode = w.array("inode", [0] * inodes)
+        busy = w.array("busy", [False] * blocks)
+
+        def process(tid: int):
+            i = tid % inodes
+            yield inode_locks[i].acquire()
+            have_block = yield inode[i].read()
+            if have_block == 0:
+                b = (i * 2) % blocks
+                for _ in range(blocks):  # at most one full sweep
+                    yield block_locks[b].acquire()
+                    taken = yield busy[b].read()
+                    if not taken:
+                        yield busy[b].write(True)
+                        yield inode[i].write(b + 1)
+                        yield block_locks[b].release()
+                        break
+                    yield block_locks[b].release()
+                    b = (b + 1) % blocks
+                allocated = yield inode[i].read()
+                check(allocated != 0, "allocator failed to find a free block")
+            yield inode_locks[i].release()
+
+        return [(f"proc{t}", process, (t,)) for t in range(threads)]
+
+    return Program(f"filesystem-{threads}t{inodes}i{blocks}b", setup)

@@ -1,0 +1,276 @@
+"""The transaction manager benchmark (a ZING model).
+
+The paper's transaction manager "provides transactions in a system for
+authoring web services on the Microsoft .NET platform.  Internally,
+the in-flight transactions are stored in a hashtable, access to which
+is synchronized using fine-grained locking. ... Each test contains two
+threads.  One thread performing an operation -- create, commit, or
+delete -- on a transaction.  The second thread is a timer thread that
+periodically flushes from the hashtable all pending transactions that
+have timed out."  It is "a ZING model constructed semi-automatically
+from the C# implementation", so this reproduction models it in the
+ZING framework (:mod:`repro.zing`) and checks it with the
+explicit-state checker, exactly the paper's configuration.
+
+Time is modelled by a global tick counter the operation thread
+advances at operation boundaries; the timer's two flush passes are
+gated on ticks 1 and 2, and a transaction is only flushed if it was
+*marked* expired in a strictly earlier period -- the standard
+two-period lazy timeout.
+
+Per Table 2 the transaction manager contributed 3 bugs, two exposed
+with 2 preemptions and one with 3 (:data:`VARIANTS`):
+
+* ``stale-commit`` (2 preemptions): commit looks the transaction up
+  under the table lock, releases it, and re-validates only under the
+  transaction lock; a mark pass and a flush pass landing in the two
+  windows make commit touch a flushed transaction.
+* ``stale-delete`` (2 preemptions): the same check-then-act shape in
+  delete, for a transaction that was never committed.
+* ``flush-committed`` (3 preemptions): the *timer* selects its victim
+  under the table lock, releases it, and removes blindly after
+  re-acquiring; three preemptions let a commit slip between selection
+  and removal, so the timer flushes a committed transaction.
+
+Transaction identities are :class:`~repro.zing.symmetry.Ref` values,
+so the checker's heap-symmetry reduction collapses states that differ
+only in transaction numbering.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..zing.model import ZingCtx, ZingModel, acquire, atomic, guarded, release
+from ..zing.symmetry import Ref
+
+#: The seeded-bug variant names.
+VARIANTS: Tuple[str, ...] = ("stale-commit", "stale-delete", "flush-committed")
+
+
+class TransactionManager(ZingModel):
+    """The two-thread transaction manager model."""
+
+    thread_labels = ("ops", "timer")
+
+    def __init__(self, variant: str = "correct") -> None:
+        if variant != "correct" and variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+        self.variant = variant
+        self.name = (
+            "txnmgr" if variant == "correct" else f"txnmgr-{variant}"
+        )
+
+    def initial_globals(self):
+        return {
+            "tlock": None,  # hashtable lock
+            "xlock": None,  # per-transaction lock (one live txn)
+            "table": {"s0": None},
+            "next_id": 0,
+            "ticks": 0,
+        }
+
+    # -- shared instruction builders -------------------------------------------
+
+    @staticmethod
+    def _tick(ctx: ZingCtx) -> None:
+        ctx.g["ticks"] += 1
+
+    @staticmethod
+    def _create(ctx: ZingCtx) -> None:
+        ctx.g["table"]["s0"] = {
+            "id": Ref(ctx.g["next_id"]),
+            "state": "active",
+            "expired": False,
+            "mark_tick": -1,
+        }
+        ctx.g["next_id"] += 1
+
+    @staticmethod
+    def _delete_checked(ctx: ZingCtx) -> None:
+        ctx.require(
+            ctx.g["table"]["s0"] is not None, "delete of missing transaction"
+        )
+        ctx.g["table"]["s0"] = None
+
+    # -- the operations thread ----------------------------------------------------
+
+    def program(self, index: int):
+        if index == 0:
+            return self._ops_program()
+        return self._timer_program()
+
+    def _ops_program(self):
+        create = [
+            acquire("tlock"),
+            atomic(self._create, label="create"),
+            release("tlock"),
+            atomic(self._tick, label="tick1"),
+        ]
+        delete = [
+            acquire("tlock"),
+            atomic(self._delete_checked, label="delete"),
+            release("tlock"),
+        ]
+
+        def commit_atomic(ctx: ZingCtx) -> None:
+            ctx.require(
+                ctx.g["table"]["s0"] is not None, "commit of missing transaction"
+            )
+            ctx.g["table"]["s0"]["state"] = "committed"
+
+        if self.variant == "stale-commit":
+            # Lookup under the table lock, mutate under the transaction
+            # lock -- with nothing pinning the transaction in between.
+            def remember(ctx: ZingCtx) -> None:
+                ctx.l["found"] = ctx.g["table"]["s0"] is not None
+
+            def commit_stale(ctx: ZingCtx) -> None:
+                if ctx.l["found"]:
+                    ctx.require(
+                        ctx.g["table"]["s0"] is not None,
+                        "transaction flushed during commit",
+                    )
+                    ctx.g["table"]["s0"]["state"] = "committed"
+
+            commit = [
+                acquire("tlock"),
+                atomic(remember, label="lookup"),
+                release("tlock"),
+                atomic(self._tick, label="tick2"),  # timeout elapses mid-commit
+                acquire("xlock"),
+                atomic(commit_stale, label="commit"),
+                release("xlock"),
+            ]
+            return create + commit + delete
+
+        if self.variant == "stale-delete":
+            # The transaction is never committed; delete re-validates
+            # too late.
+            def remember(ctx: ZingCtx) -> None:
+                ctx.l["found"] = ctx.g["table"]["s0"] is not None
+
+            def delete_stale(ctx: ZingCtx) -> None:
+                if ctx.l["found"]:
+                    ctx.require(
+                        ctx.g["table"]["s0"] is not None,
+                        "transaction vanished during delete",
+                    )
+                    ctx.g["table"]["s0"] = None
+
+            window_delete = [
+                acquire("tlock"),
+                atomic(remember, label="lookup"),
+                release("tlock"),
+                atomic(self._tick, label="tick2"),
+                acquire("tlock"),
+                atomic(delete_stale, label="delete"),
+                release("tlock"),
+            ]
+            return create + window_delete
+
+        tick2 = [atomic(self._tick, label="tick2")]
+        if self.variant == "flush-committed":
+            # The timeout period ends before the commit starts, so a
+            # lazy flush of the still-active transaction is legitimate:
+            # the commit tolerates a missing transaction, and the only
+            # incorrect outcome is the timer removing a *committed* one
+            # (asserted in the timer's blind remove).
+            def commit_tolerant(ctx: ZingCtx) -> None:
+                txn = ctx.g["table"]["s0"]
+                if txn is not None:
+                    txn["state"] = "committed"
+
+            commit = [
+                acquire("tlock"),
+                acquire("xlock"),
+                atomic(commit_tolerant, label="commit"),
+                release("xlock"),
+                release("tlock"),
+            ]
+            return create + tick2 + commit
+
+        # correct: commit atomically under both locks (table lock then
+        # transaction lock), with the timeout period ending afterwards.
+        commit = [
+            acquire("tlock"),
+            acquire("xlock"),
+            atomic(commit_atomic, label="commit"),
+            release("xlock"),
+            release("tlock"),
+        ]
+        return create + commit + tick2 + delete
+
+    # -- the timer thread -----------------------------------------------------------
+
+    def _timer_program(self):
+        def wait_ticks(n: int):
+            return guarded(
+                lambda ctx, n=n: ctx.g["ticks"] >= n,
+                lambda ctx: None,
+                label=f"wait-tick{n}",
+            )
+
+        def mark(ctx: ZingCtx) -> None:
+            txn = ctx.g["table"]["s0"]
+            if txn is not None and txn["state"] == "active" and not txn["expired"]:
+                txn["expired"] = True
+                txn["mark_tick"] = ctx.g["ticks"]
+
+        def flush_atomic(ctx: ZingCtx) -> None:
+            txn = ctx.g["table"]["s0"]
+            if (
+                txn is not None
+                and txn["state"] == "active"
+                and txn["expired"]
+                and txn["mark_tick"] < ctx.g["ticks"]
+            ):
+                ctx.g["table"]["s0"] = None
+
+        if self.variant == "flush-committed":
+            # The victim is selected in one critical section and
+            # removed in another, with no re-validation.
+            def select_victim(ctx: ZingCtx) -> None:
+                txn = ctx.g["table"]["s0"]
+                ctx.l["victim"] = (
+                    txn is not None
+                    and txn["state"] == "active"
+                    and txn["expired"]
+                    and txn["mark_tick"] < ctx.g["ticks"]
+                )
+
+            def remove_blind(ctx: ZingCtx) -> None:
+                if ctx.l["victim"]:
+                    txn = ctx.g["table"]["s0"]
+                    ctx.require(
+                        txn is None or txn["state"] == "active",
+                        "timer flushed a committed transaction",
+                    )
+                    ctx.g["table"]["s0"] = None
+
+            flush_pass = [
+                acquire("tlock"),
+                atomic(select_victim, label="select"),
+                release("tlock"),
+                acquire("tlock"),
+                atomic(remove_blind, label="remove"),
+                release("tlock"),
+            ]
+        else:
+            flush_pass = [
+                acquire("tlock"),
+                atomic(flush_atomic, label="flush"),
+                release("tlock"),
+            ]
+
+        mark_pass = [
+            acquire("tlock"),
+            atomic(mark, label="mark"),
+            release("tlock"),
+        ]
+        return [wait_ticks(1)] + mark_pass + [wait_ticks(2)] + flush_pass
+
+
+def transaction_manager(variant: str = "correct") -> TransactionManager:
+    """Build the transaction-manager ZING model."""
+    return TransactionManager(variant)

@@ -1,0 +1,217 @@
+"""The work-stealing queue benchmark.
+
+The paper's running example: "an implementation [15] of the
+work-stealing queue algorithm [8]" -- Leijen's C# port of the Cilk-5
+THE protocol -- "represent[ing] the queue using a bounded circular
+buffer which is accessed concurrently by two threads in a non-blocking
+manner", with a test harness of "two threads, a victim and a thief,
+that concurrently access the queue".  The implementor provided three
+variants, each containing a subtle bug; Table 2 reports them exposed
+at preemption bounds 1, 2 and 2, and Figures 1 and 2 plot coverage on
+the correct version.
+
+The queue here is the THE protocol over a bounded circular buffer:
+
+* ``push`` (victim only): write the item, then publish by bumping
+  ``tail``;
+* ``pop`` (victim only): optimistically grab the top by decrementing
+  ``tail``, then reconcile with ``head``; the ``tail == head`` case is
+  a conflict with a concurrent steal, arbitrated under the lock;
+* ``steal`` (thief): entirely under the lock: re-read both indices,
+  take from ``head``.
+
+``head``/``tail`` are atomic (sync) variables, buffer slots are plain
+data variables; the race detector therefore also guards the protocol's
+publication discipline.
+
+Seeded bugs (see :data:`VARIANTS`):
+
+* ``pop-race`` -- ``pop`` resolves the ``tail == head`` conflict
+  *without* taking the lock, so a concurrent steal and the pop can
+  both take the last item (duplicate);
+* ``steal-stale-tail`` -- ``steal`` reads ``tail`` before acquiring
+  the lock and trusts the stale value, stealing an item a concurrent
+  pop already took;
+* ``pop-lost-restore`` -- ``pop``'s empty path forgets to restore
+  ``tail`` after racing with a steal, corrupting the indices so a
+  subsequent push is lost.
+
+The harness (3 threads, as in Table 1): a main thread spawns the
+victim (pushes then pops) and the thief (steals), joins both, drains
+the queue, and asserts that the multiset of taken items is exactly the
+multiset pushed -- catching duplicates, lost items and phantom steals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..core.effects import Effect, join, spawn
+from ..core.program import Program, check
+from ..core.world import World
+
+#: Sentinel returned by pop/steal on an empty queue.
+EMPTY = "<empty>"
+
+#: The seeded-bug variant names, in the order of Table 2.
+VARIANTS: Tuple[str, ...] = ("pop-race", "steal-stale-tail", "pop-lost-restore")
+
+
+class WorkStealQueue:
+    """The shared deque: state constructor plus operation generators.
+
+    Operations are generators over effects; thread bodies invoke them
+    with ``yield from``.  The ``variant`` selects one of the seeded
+    bugs ("correct" selects none).
+    """
+
+    def __init__(self, w: World, size: int = 4, variant: str = "correct") -> None:
+        if variant != "correct" and variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+        self.size = size
+        self.variant = variant
+        self.head = w.atomic("wsq.head", 0)
+        self.tail = w.atomic("wsq.tail", 0)
+        self.lock = w.mutex("wsq.lock")
+        self.items = w.array("wsq.items", [EMPTY] * size)
+
+    # -- operations (generators; use with `yield from`) -----------------
+
+    def push(self, item) -> Iterator[Effect]:
+        """Append ``item`` at the tail (victim only)."""
+        t = yield self.tail.read()
+        h = yield self.head.read()
+        check(t - h < self.size, "push on a full bounded buffer")
+        yield self.items[t % self.size].write(item)
+        yield self.tail.write(t + 1)
+
+    def pop(self):
+        """Take the newest item (victim only); EMPTY if none."""
+        t = yield self.tail.add(-1)
+        h = yield self.head.read()
+        if t < h:
+            # Queue was empty; restore the optimistic decrement.
+            if self.variant != "pop-lost-restore":
+                yield self.tail.write(h)
+            return EMPTY
+        if t > h:
+            item = yield self.items[t % self.size].read()
+            return item
+        # tail == head: racing with a steal for the last item.
+        if self.variant == "pop-race":
+            # BUG: no arbitration -- a concurrent steal of the same
+            # slot duplicates the item.
+            item = yield self.items[t % self.size].read()
+            return item
+        yield self.lock.acquire()
+        h = yield self.head.read()
+        if t < h:
+            # Lost the race: the thief took it.
+            yield self.tail.write(h)
+            yield self.lock.release()
+            return EMPTY
+        item = yield self.items[t % self.size].read()
+        yield self.lock.release()
+        return item
+
+    def steal(self):
+        """Take the oldest item (thief); EMPTY if none."""
+        if self.variant == "steal-stale-tail":
+            # BUG: sample tail before acquiring the lock and trust it.
+            t = yield self.tail.read()
+            yield self.lock.acquire()
+            h = yield self.head.read()
+            if h >= t:
+                yield self.lock.release()
+                return EMPTY
+            item = yield self.items[h % self.size].read()
+            yield self.head.write(h + 1)
+            yield self.lock.release()
+            return item
+        yield self.lock.acquire()
+        h = yield self.head.read()
+        t = yield self.tail.read()
+        if h >= t:
+            yield self.lock.release()
+            return EMPTY
+        item = yield self.items[h % self.size].read()
+        yield self.head.write(h + 1)
+        yield self.lock.release()
+        return item
+
+
+#: The default victim script: interleaves pushes and pops so that the
+#: index-corruption bug (``pop-lost-restore``) has a push to lose.
+DEFAULT_SCRIPT: Tuple[str, ...] = ("push", "push", "pop", "push", "pop", "pop")
+
+
+def work_steal_queue(
+    variant: str = "correct",
+    script: Tuple[str, ...] = DEFAULT_SCRIPT,
+    steals: int = 2,
+    size: int = 4,
+) -> Program:
+    """Build the work-stealing queue benchmark.
+
+    The victim runs ``script`` (a sequence of ``"push"``/``"pop"``
+    operations; pushes produce items 1, 2, ...); the thief attempts
+    ``steals`` steals; main joins both, drains the queue
+    single-threadedly and asserts conservation: every pushed item is
+    taken exactly once, and nothing else is ever taken.
+    """
+    if variant != "correct" and variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")
+    if any(op not in ("push", "pop") for op in script):
+        raise ValueError(f"script may only contain 'push'/'pop', got {script!r}")
+    pushes = sum(1 for op in script if op == "push")
+
+    def setup(w: World):
+        queue = WorkStealQueue(w, size=size, variant=variant)
+        victim_taken = w.var("victim_taken", ())
+        thief_taken = w.var("thief_taken", ())
+
+        def victim():
+            taken: List[int] = []
+            next_item = 1
+            for op in script:
+                if op == "push":
+                    yield from queue.push(next_item)
+                    next_item += 1
+                else:
+                    item = yield from queue.pop()
+                    if item is not EMPTY:
+                        taken.append(item)
+            yield victim_taken.write(tuple(taken))
+
+        def thief():
+            taken: List[int] = []
+            for _ in range(steals):
+                item = yield from queue.steal()
+                if item is not EMPTY:
+                    taken.append(item)
+            yield thief_taken.write(tuple(taken))
+
+        def main():
+            v = yield spawn(victim, name="victim")
+            t = yield spawn(thief, name="thief")
+            yield join(v)
+            yield join(t)
+            got_victim = yield victim_taken.read()
+            got_thief = yield thief_taken.read()
+            leftovers: List[int] = []
+            while True:
+                item = yield from queue.pop()
+                if item is EMPTY:
+                    break
+                leftovers.append(item)
+            taken = sorted(list(got_victim) + list(got_thief) + leftovers)
+            expected = list(range(1, pushes + 1))
+            check(
+                taken == expected,
+                f"conservation violated: pushed {expected}, taken {taken}",
+            )
+
+        return {"main": main}
+
+    name = "wsq" if variant == "correct" else f"wsq-{variant}"
+    return Program(name, setup)

@@ -1,0 +1,107 @@
+"""The Eraser lockset algorithm (Savage et al., TOCS 1997).
+
+Included as an ablation baseline: Eraser checks a *locking discipline*
+(every shared variable is consistently protected by some lock) rather
+than the happens-before relation, so it reports false positives on
+correct synchronization idioms that do not use locks (fork/join
+publication, event handoff, lock-free algorithms).  The ablation
+benchmark contrasts its verdicts with the precise detectors on the
+paper's benchmark programs.
+
+Per-variable state machine, as in the paper:
+
+* VIRGIN: never accessed;
+* EXCLUSIVE: accessed by a single thread so far (no checking);
+* SHARED: read by multiple threads (lockset refined, races not
+  reported);
+* SHARED_MODIFIED: written by multiple threads (lockset refined,
+  an empty lockset is a race).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set
+
+from ..core.effects import EffectKind
+from ..core.objects import SharedObject
+from ..core.thread import ThreadId
+
+
+class _State(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+class _VarInfo:
+    __slots__ = ("state", "owner", "lockset")
+
+    def __init__(self) -> None:
+        self.state = _State.VIRGIN
+        self.owner: Optional[ThreadId] = None
+        self.lockset: Optional[Set[SharedObject]] = None
+
+
+class EraserDetector:
+    """Online Eraser lockset checking over one execution."""
+
+    def __init__(self) -> None:
+        self._held: Dict[ThreadId, Set[SharedObject]] = {}
+        self._vars: Dict[int, _VarInfo] = {}
+
+    # -- lock tracking -----------------------------------------------------
+
+    def on_sync(self, tid: ThreadId, obj: SharedObject, kind: EffectKind) -> None:
+        """Track the set of locks each thread currently holds."""
+        held = self._held.setdefault(tid, set())
+        if kind in (EffectKind.ACQUIRE, EffectKind.TRY_ACQUIRE):
+            held.add(obj)
+        elif kind is EffectKind.RELEASE:
+            held.discard(obj)
+
+    def locks_held(self, tid: ThreadId) -> Set[SharedObject]:
+        """The set of locks ``tid`` currently holds."""
+        return self._held.get(tid, set())
+
+    # -- data accesses -------------------------------------------------------
+
+    def on_data(
+        self, tid: ThreadId, var: SharedObject, is_write: bool
+    ) -> Optional[str]:
+        """Process a data access; return a race description or None."""
+        info = self._vars.get(id(var))
+        if info is None:
+            info = _VarInfo()
+            self._vars[id(var)] = info
+
+        if info.state is _State.VIRGIN:
+            info.state = _State.EXCLUSIVE
+            info.owner = tid
+            return None
+
+        if info.state is _State.EXCLUSIVE:
+            if info.owner == tid:
+                return None
+            # First access by a second thread: start lockset refinement.
+            info.lockset = set(self.locks_held(tid))
+            info.state = _State.SHARED_MODIFIED if is_write else _State.SHARED
+            if is_write and not info.lockset:
+                return self._race(var, tid)
+            return None
+
+        assert info.lockset is not None
+        info.lockset &= self.locks_held(tid)
+        if is_write:
+            info.state = _State.SHARED_MODIFIED
+        if info.state is _State.SHARED_MODIFIED and not info.lockset:
+            return self._race(var, tid)
+        return None
+
+    @staticmethod
+    def _race(var: SharedObject, tid: ThreadId) -> str:
+        return (
+            f"eraser: variable {var.name} accessed by {tid} with an empty "
+            "candidate lockset"
+        )

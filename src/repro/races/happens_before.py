@@ -1,0 +1,162 @@
+"""The happens-before tracker.
+
+Implements the relation of Appendix A.1: two steps are *dependent* if
+they are executed by the same thread or access the same synchronization
+variable; the happens-before relation HB(alpha) is the transitive
+closure of the program-order and same-sync-var dependences.
+
+The tracker maintains:
+
+* a vector clock per thread (program order plus inherited orderings);
+* a vector clock per synchronization object -- every access to a sync
+  object joins the object's clock into the thread and publishes the
+  thread's clock back, totally ordering all accesses to that object
+  (exactly the paper's dependence relation, which does not distinguish
+  acquire from release);
+* per data variable, the epochs of the last write and of reads since
+  that write, checked FastTrack-style at every data access.
+
+By default a race is two *conflicting* (at least one write) unordered
+accesses, which is what the CHESS implementation checks.  The paper's
+appendix uses a stricter formal definition where even two unordered
+reads of the same data variable constitute a race (it simplifies the
+proofs of Theorems 2 and 3); set ``strict=True`` to get that
+definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.objects import SharedObject
+from ..core.thread import ThreadId
+from .vectorclock import VectorClock
+
+#: An access epoch: (thread, that thread's clock at the access).
+Epoch = Tuple[ThreadId, int]
+
+
+@dataclass(frozen=True)
+class RaceInfo:
+    """Two unordered accesses to the same data variable."""
+
+    variable: str
+    first: Epoch
+    first_was_write: bool
+    second: Epoch
+    second_was_write: bool
+
+    def describe(self) -> str:
+        def render(epoch: Epoch, write: bool) -> str:
+            kind = "write" if write else "read"
+            return f"{kind} by {epoch[0]}"
+
+        return (
+            f"data race on {self.variable}: "
+            f"{render(self.first, self.first_was_write)} is unordered with "
+            f"{render(self.second, self.second_was_write)}"
+        )
+
+
+class _VarState:
+    """Race-check state for one data variable."""
+
+    __slots__ = ("last_write", "last_write_clock", "reads", "last_access", "last_access_write")
+
+    def __init__(self) -> None:
+        self.last_write: Optional[Epoch] = None
+        self.last_write_clock: Optional[VectorClock] = None
+        self.reads: Dict[ThreadId, int] = {}
+        # Only used in strict mode.
+        self.last_access: Optional[Epoch] = None
+        self.last_access_write = False
+
+
+class HBTracker:
+    """Tracks happens-before clocks and detects data races online."""
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
+        self._thread_clocks: Dict[ThreadId, VectorClock] = {}
+        self._sync_clocks: Dict[int, VectorClock] = {}
+        self._var_state: Dict[int, _VarState] = {}
+
+    # -- clocks -----------------------------------------------------------
+
+    def clock_of(self, tid: ThreadId) -> VectorClock:
+        """The thread's current vector clock."""
+        return self._thread_clocks.get(tid, VectorClock.empty())
+
+    def _set_clock(self, tid: ThreadId, clock: VectorClock) -> None:
+        self._thread_clocks[tid] = clock
+
+    # -- step processing ----------------------------------------------------
+
+    def sync_access(self, tid: ThreadId, objects: List[SharedObject]) -> VectorClock:
+        """Record a synchronization access touching ``objects``.
+
+        The thread's clock absorbs every object's clock, ticks, and is
+        published back to every object.  Returns the step's clock.
+        """
+        clock = self.clock_of(tid)
+        for obj in objects:
+            other = self._sync_clocks.get(id(obj))
+            if other is not None:
+                clock = clock.join(other)
+        clock = clock.tick(tid)
+        for obj in objects:
+            self._sync_clocks[id(obj)] = clock
+        self._set_clock(tid, clock)
+        return clock
+
+    def local_step(self, tid: ThreadId) -> VectorClock:
+        """Record a step that accesses no shared variable (YIELD)."""
+        clock = self.clock_of(tid).tick(tid)
+        self._set_clock(tid, clock)
+        return clock
+
+    def data_access(
+        self, tid: ThreadId, variable: SharedObject, is_write: bool
+    ) -> Tuple[VectorClock, List[RaceInfo]]:
+        """Record a data access; return the step clock and any races."""
+        clock = self.clock_of(tid).tick(tid)
+        self._set_clock(tid, clock)
+        epoch: Epoch = (tid, clock.get(tid))
+
+        state = self._var_state.get(id(variable))
+        if state is None:
+            state = _VarState()
+            self._var_state[id(variable)] = state
+
+        races: List[RaceInfo] = []
+
+        if self.strict:
+            # Appendix A definition: *any* two unordered accesses race.
+            prev = state.last_access
+            if prev is not None and not clock.covers(prev[0], prev[1]):
+                races.append(
+                    RaceInfo(variable.name, prev, state.last_access_write, epoch, is_write)
+                )
+            state.last_access = epoch
+            state.last_access_write = is_write
+            return clock, races
+
+        if is_write:
+            prev = state.last_write
+            if prev is not None and not clock.covers(prev[0], prev[1]):
+                races.append(RaceInfo(variable.name, prev, True, epoch, True))
+            for reader, time in state.reads.items():
+                if reader != tid and not clock.covers(reader, time):
+                    races.append(
+                        RaceInfo(variable.name, (reader, time), False, epoch, True)
+                    )
+            state.last_write = epoch
+            state.last_write_clock = clock
+            state.reads = {}
+        else:
+            prev = state.last_write
+            if prev is not None and not clock.covers(prev[0], prev[1]):
+                races.append(RaceInfo(variable.name, prev, True, epoch, False))
+            state.reads[tid] = clock.get(tid)
+        return clock, races

@@ -1,0 +1,125 @@
+"""Iterative context bounding -- Algorithm 1 of the paper.
+
+The search maintains two queues of work items ``(state, tid)``.
+``work_queue`` holds items explorable within the current preemption
+bound; whenever continuing the current thread is possible but the
+search wants to schedule a different *enabled* thread -- a preempting
+context switch -- the corresponding item is deferred to
+``next_queue``.  When the current bound is exhausted the bound is
+incremented and the deferred items become the new frontier.
+
+Consequences (Section 2 of the paper), all preserved here:
+
+* every execution with ``c`` preemptions is explored before any
+  execution with ``c + 1`` preemptions, so the first bug found is
+  exposed with the *minimum* possible number of preemptions;
+* nonpreempting context switches (from a blocked or finished thread)
+  are free: they are explored depth-first within the current bound, so
+  executions reach unbounded depth even at bound zero;
+* if the search completes bound ``c`` without finding a bug, the
+  program is certified correct for all executions with at most ``c``
+  preemptions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core.thread import ThreadId
+from ..core.transition import StateSpace
+from .statecache import WorkItemCache
+from .strategy import SearchContext, Strategy
+
+WorkItem = Tuple[object, ThreadId]
+
+
+class IterativeContextBounding(Strategy):
+    """The paper's iterative context-bounding search.
+
+    Args:
+        max_bound: stop after completing this preemption bound
+            (``None`` explores bounds until the space is exhausted).
+        state_caching: enable the work-item table of Algorithm 1
+            (the ZING configuration; CHESS runs without it).
+    """
+
+    name = "icb"
+
+    def __init__(
+        self, max_bound: Optional[int] = None, state_caching: bool = False
+    ) -> None:
+        if max_bound is not None and max_bound < 0:
+            raise ValueError("max_bound must be non-negative")
+        self.max_bound = max_bound
+        self.state_caching = state_caching
+
+    def _search(
+        self, space: StateSpace, ctx: SearchContext, extras: Dict[str, Any]
+    ) -> None:
+        cache = WorkItemCache() if self.state_caching else None
+        initial = space.initial_state()
+
+        work_queue: Deque[WorkItem] = deque()
+        next_queue: Deque[WorkItem] = deque()
+        for tid in space.enabled(initial):
+            work_queue.append((initial, tid))
+        if not work_queue and space.is_terminal(initial):
+            ctx.note_terminal(space, initial)
+
+        bound = 0
+        extras["completed_bound"] = None
+        while True:
+            while work_queue:
+                item = work_queue.popleft()
+                self._search_item(space, ctx, item, next_queue, cache)
+            # All executions with at most `bound` preemptions explored.
+            extras["completed_bound"] = bound
+            if not next_queue:
+                break
+            if self.max_bound is not None and bound >= self.max_bound:
+                break
+            bound += 1
+            work_queue, next_queue = next_queue, deque()
+        extras["final_frontier"] = len(next_queue)
+        if cache is not None:
+            extras["cache_hits"] = cache.hits
+            extras["cache_size"] = len(cache)
+
+    def _search_item(
+        self,
+        space: StateSpace,
+        ctx: SearchContext,
+        item: WorkItem,
+        next_queue: Deque[WorkItem],
+        cache: Optional[WorkItemCache],
+    ) -> None:
+        """The recursive ``Search`` procedure, iteratively.
+
+        Explores everything reachable from ``item`` without an
+        additional preemption, deferring each preempting alternative
+        into ``next_queue``.
+        """
+        stack: List[WorkItem] = [item]
+        while stack:
+            state, tid = stack.pop()
+            if cache is not None and cache.seen(space.fingerprint(state), tid):
+                continue
+            successor = space.execute(state, tid)
+            ctx.visit(space, successor)
+            if space.is_terminal(successor):
+                ctx.note_terminal(space, successor)
+                continue
+            enabled = space.enabled(successor)
+            if tid in enabled:
+                # The running thread may continue: scheduling any other
+                # enabled thread here would be a preemption.
+                stack.append((successor, tid))
+                for other in enabled:
+                    if other != tid:
+                        next_queue.append((successor, other))
+            else:
+                # The running thread blocked or finished: switching is
+                # nonpreempting and free, so explore every choice now.
+                for other in reversed(enabled):
+                    stack.append((successor, other))

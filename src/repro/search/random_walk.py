@@ -1,0 +1,52 @@
+"""Random-walk search (the ``random`` curve of Figure 2).
+
+Repeatedly executes the program under a uniformly random scheduler, as
+proposed for distributed-memory model checking by Sivaraj and
+Gopalakrishnan (cited as related work in the paper).  Random walk
+provides no coverage guarantee; the paper contrasts this with ICB's
+polynomial bound and bound-c certificate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..core.transition import StateSpace
+from .strategy import SearchContext, Strategy
+
+
+class RandomWalk(Strategy):
+    """Uniform random scheduling, one complete execution at a time.
+
+    Args:
+        executions: how many random executions to run (a budget in
+            :class:`~repro.search.strategy.SearchLimits` can stop the
+            walk earlier).
+        seed: PRNG seed; runs are reproducible given the seed.
+    """
+
+    name = "random"
+
+    def __init__(self, executions: int = 1000, seed: int = 0) -> None:
+        if executions < 1:
+            raise ValueError("executions must be positive")
+        self.executions = executions
+        self.seed = seed
+
+    def _search(
+        self, space: StateSpace, ctx: SearchContext, extras: Dict[str, Any]
+    ) -> None:
+        rng = random.Random(self.seed)
+        for _ in range(self.executions):
+            state = space.initial_state()
+            if space.is_terminal(state):
+                ctx.note_terminal(space, state)
+                continue
+            while not space.is_terminal(state):
+                enabled = space.enabled(state)
+                tid = enabled[rng.randrange(len(enabled))]
+                state = space.execute(state, tid)
+                ctx.visit(space, state)
+            ctx.note_terminal(space, state)
+        extras["seed"] = self.seed

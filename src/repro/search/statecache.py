@@ -1,0 +1,36 @@
+"""Optional work-item caching (the ``table`` of Algorithm 1).
+
+The paper notes that state caching is orthogonal to context bounding:
+ZING caches states while CHESS does not.  Following the pseudocode in
+Section 3, the cache stores *work items* -- (state fingerprint, thread
+to run) pairs -- and prunes a Search invocation whose work item has
+been processed before.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set, Tuple
+
+from ..core.thread import ThreadId
+
+
+class WorkItemCache:
+    """A set of visited (state fingerprint, thread) work items."""
+
+    def __init__(self) -> None:
+        self._table: Set[Tuple[Hashable, ThreadId]] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def seen(self, fingerprint: Hashable, tid: ThreadId) -> bool:
+        """Check-and-insert: True if the item was already processed."""
+        key = (fingerprint, tid)
+        if key in self._table:
+            self.hits += 1
+            return True
+        self._table.add(key)
+        self.misses += 1
+        return False
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,237 @@
+"""Search infrastructure: budgets, statistics and the strategy base.
+
+A :class:`SearchContext` is shared by all strategies.  It accumulates
+the quantities every experiment in the paper is built on:
+
+* the set of distinct visited states, each tagged with the minimum
+  preemption count at which it was reached (Figures 1 and 4 are
+  cumulative histograms of this tag);
+* the coverage history -- distinct states after each completed
+  execution (Figures 2, 5 and 6 plot exactly this series);
+* deduplicated bug reports, each kept with its minimal-preemption
+  witness (Table 2);
+* the per-execution maxima of steps K, blocking steps B and
+  preemptions c (Table 1).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..errors import (
+    BugReport,
+    SearchBudgetExceeded,
+    SearchInterrupted,
+)
+from ..core.transition import StateSpace
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Resource budget for one search run.
+
+    ``None`` means unlimited.  When a budget is exhausted the search
+    stops cleanly and the result is marked incomplete; everything
+    accumulated so far remains valid (this is how the fixed-budget
+    coverage-growth figures are produced).
+    """
+
+    max_executions: Optional[int] = None
+    max_transitions: Optional[int] = None
+    max_seconds: Optional[float] = None
+    stop_on_first_bug: bool = False
+
+
+class SearchContext:
+    """Shared statistics and budget enforcement for a search run."""
+
+    def __init__(self, limits: Optional[SearchLimits] = None) -> None:
+        self.limits = limits or SearchLimits()
+        #: fingerprint -> minimal preemption count at which visited.
+        self.states: Dict[Hashable, int] = {}
+        #: bug signature -> minimal-preemption report.
+        self.bugs: Dict[Tuple[Any, ...], BugReport] = {}
+        self.executions = 0
+        self.transitions = 0
+        #: (executions completed, distinct states) after each execution.
+        self.history: List[Tuple[int, int]] = []
+        self.max_steps = 0
+        self.max_blocking = 0
+        self.max_preemptions = 0
+        self.started_at = time.monotonic()
+
+    # -- recording ----------------------------------------------------------
+
+    def record_initial(self, space: StateSpace, state: object) -> None:
+        """Record the initial state before exploration starts."""
+        self.states.setdefault(space.fingerprint(state), 0)
+
+    def visit(self, space: StateSpace, state: object) -> None:
+        """Record a state reached by one ``execute`` transition."""
+        self.transitions += 1
+        fingerprint = space.fingerprint(state)
+        preemptions = space.preemptions(state)
+        known = self.states.get(fingerprint)
+        if known is None or preemptions < known:
+            self.states[fingerprint] = preemptions
+        for bug in space.bugs(state):
+            self.note_bug(bug)
+        self._check_budget()
+
+    def note_terminal(self, space: StateSpace, state: object) -> None:
+        """Record a completed (or budget/depth-pruned) execution."""
+        self.executions += 1
+        # Terminal-state conditions (e.g. a deadlock in the initial
+        # state, before any transition was visited) surface here.
+        for bug in space.bugs(state):
+            self.note_bug(bug)
+        if hasattr(space, "execution_stats"):
+            steps, blocking, preemptions = space.execution_stats(state)
+            self.max_steps = max(self.max_steps, steps)
+            self.max_blocking = max(self.max_blocking, blocking)
+            self.max_preemptions = max(self.max_preemptions, preemptions)
+        self.history.append((self.executions, len(self.states)))
+        self._check_budget()
+
+    def note_bug(self, bug: BugReport) -> None:
+        """Record a bug, keeping the minimal-preemption witness."""
+        signature = bug.signature
+        known = self.bugs.get(signature)
+        if known is None or bug.preemptions < known.preemptions:
+            self.bugs[signature] = bug
+        if self.limits.stop_on_first_bug:
+            raise SearchInterrupted("stopping at first bug")
+
+    # -- budgets ------------------------------------------------------------
+
+    def _check_budget(self) -> None:
+        limits = self.limits
+        if limits.max_executions is not None and self.executions >= limits.max_executions:
+            raise SearchBudgetExceeded(f"execution budget {limits.max_executions} reached")
+        if limits.max_transitions is not None and self.transitions >= limits.max_transitions:
+            raise SearchBudgetExceeded(f"transition budget {limits.max_transitions} reached")
+        if limits.max_seconds is not None:
+            if time.monotonic() - self.started_at >= limits.max_seconds:
+                raise SearchBudgetExceeded(f"time budget {limits.max_seconds}s reached")
+
+    # -- derived views ----------------------------------------------------------
+
+    def states_by_bound(self) -> Dict[int, int]:
+        """How many distinct states need exactly ``c`` preemptions.
+
+        ``result[c]`` is the number of states whose minimal reaching
+        preemption count is ``c``; the cumulative sum over ``c`` is the
+        coverage curve of Figures 1 and 4.
+        """
+        histogram: Dict[int, int] = {}
+        for bound in self.states.values():
+            histogram[bound] = histogram.get(bound, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def coverage_curve(self) -> List[Tuple[int, float]]:
+        """Cumulative fraction of visited states per preemption bound."""
+        histogram = self.states_by_bound()
+        total = sum(histogram.values())
+        curve: List[Tuple[int, float]] = []
+        running = 0
+        for bound, count in histogram.items():
+            running += count
+            curve.append((bound, running / total if total else 1.0))
+        return curve
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one strategy run."""
+
+    strategy: str
+    completed: bool
+    stop_reason: str
+    context: SearchContext
+    #: Strategy-specific extras, e.g. ICB's completed preemption bound.
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    # -- conveniences -----------------------------------------------------------
+
+    @property
+    def distinct_states(self) -> int:
+        return len(self.context.states)
+
+    @property
+    def executions(self) -> int:
+        return self.context.executions
+
+    @property
+    def transitions(self) -> int:
+        return self.context.transitions
+
+    @property
+    def bugs(self) -> List[BugReport]:
+        return sorted(
+            self.context.bugs.values(), key=lambda b: (b.preemptions, str(b.kind))
+        )
+
+    @property
+    def found_bug(self) -> bool:
+        return bool(self.context.bugs)
+
+    @property
+    def first_bug(self) -> Optional[BugReport]:
+        bugs = self.bugs
+        return bugs[0] if bugs else None
+
+    @property
+    def history(self) -> List[Tuple[int, int]]:
+        return self.context.history
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "complete" if self.completed else f"stopped ({self.stop_reason})"
+        return (
+            f"{self.strategy}: {self.executions} executions, "
+            f"{self.distinct_states} states, {len(self.bugs)} bug(s), {status}"
+        )
+
+
+class Strategy(abc.ABC):
+    """Base class for search strategies.
+
+    Subclasses implement :meth:`_search`; the base class handles
+    context creation, budget exhaustion and result packaging.
+    """
+
+    name = "strategy"
+
+    def run(
+        self,
+        space: StateSpace,
+        limits: Optional[SearchLimits] = None,
+        context: Optional[SearchContext] = None,
+    ) -> SearchResult:
+        """Explore ``space`` until done or out of budget."""
+        ctx = context or SearchContext(limits)
+        extras: Dict[str, Any] = {}
+        try:
+            ctx.record_initial(space, space.initial_state())
+            self._search(space, ctx, extras)
+            completed, reason = True, "exhausted state space"
+        except SearchBudgetExceeded as exc:
+            completed, reason = False, str(exc)
+        except SearchInterrupted as exc:
+            completed, reason = False, str(exc)
+        return SearchResult(
+            strategy=self.name,
+            completed=completed,
+            stop_reason=reason,
+            context=ctx,
+            extras=extras,
+        )
+
+    @abc.abstractmethod
+    def _search(
+        self, space: StateSpace, ctx: SearchContext, extras: Dict[str, Any]
+    ) -> None:
+        """Strategy-specific exploration loop."""

@@ -1,0 +1,33 @@
+"""The combinatorial theory of context bounding (Section 2).
+
+:mod:`repro.theory.bounds` implements the counting arguments:
+the total-execution explosion ``(nk)! / (k!)^n`` and Theorem 1's
+polynomial-in-k bound ``C(nk, c) * (nb + c)!`` on executions with ``c``
+preemptions, plus the paper's simplified forms.
+
+:mod:`repro.theory.enumeration` exhaustively enumerates the real
+executions of small programs so tests and benchmarks can validate the
+bounds and the search strategies against ground truth.
+"""
+
+from .bounds import (
+    executions_with_preemptions_upper,
+    nonblocking_bound,
+    simplified_bound,
+    total_executions_upper,
+)
+from .enumeration import (
+    brute_force_minimal_bug,
+    count_by_preemptions,
+    enumerate_executions,
+)
+
+__all__ = [
+    "brute_force_minimal_bug",
+    "count_by_preemptions",
+    "enumerate_executions",
+    "executions_with_preemptions_upper",
+    "nonblocking_bound",
+    "simplified_bound",
+    "total_executions_upper",
+]

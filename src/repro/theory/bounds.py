@@ -1,0 +1,93 @@
+"""Counting bounds from Section 2 of the paper.
+
+Consider a terminating program P with ``n`` threads, each executing at
+most ``k`` steps of which at most ``b`` are potentially blocking.
+
+* Without bounding, the number of executions can reach
+  ``(nk)! / (k!)^n`` -- exponential in both ``n`` and ``k``.
+* **Theorem 1**: with at most ``c`` preemptions, the number of
+  executions is at most ``C(nk, c) * (nb + c)!`` -- *polynomial* in
+  ``k`` (degree ``c``), which is what makes context-bounded search
+  scale with execution depth.
+
+All functions compute exact arbitrary-precision integers.
+"""
+
+from __future__ import annotations
+
+from math import comb, factorial
+
+
+def _validate(n: int, k: int, b: int | None = None, c: int | None = None) -> None:
+    if n < 1:
+        raise ValueError(f"need at least one thread, got n={n}")
+    if k < 0:
+        raise ValueError(f"steps per thread must be non-negative, got k={k}")
+    if b is not None and not 0 <= b <= k:
+        raise ValueError(f"blocking steps must satisfy 0 <= b <= k, got b={b}")
+    if c is not None and c < 0:
+        raise ValueError(f"preemption bound must be non-negative, got c={c}")
+
+
+def total_executions_upper(n: int, k: int) -> int:
+    """Upper bound on *all* executions: ``(nk)! / (k!)^n``.
+
+    This is the number of interleavings of ``n`` sequences of ``k``
+    steps each (the multinomial coefficient), exponential in both
+    ``n`` and ``k`` -- the state explosion every bounding heuristic is
+    fighting.
+    """
+    _validate(n, k)
+    return factorial(n * k) // (factorial(k) ** n)
+
+
+def executions_with_preemptions_upper(n: int, k: int, b: int, c: int) -> int:
+    """Theorem 1: executions with ``c`` preemptions <= ``C(nk, c) * (nb + c)!``.
+
+    Proof shape: an execution has at most ``nk`` points where a
+    preemption can occur, so there are at most ``C(nk, c)`` ways to
+    place the ``c`` preemptions; the execution then consists of at most
+    ``nb + c`` contexts, which can be arranged in at most ``(nb + c)!``
+    ways.
+    """
+    _validate(n, k, b, c)
+    return comb(n * k, c) * factorial(n * b + c)
+
+
+def simplified_bound(n: int, k: int, b: int, c: int) -> int:
+    """The paper's simplification ``(n^2 k b)^c * (nb)!``.
+
+    Valid reading of the text for ``c`` much smaller than ``k`` and
+    ``nb``; exact dominance over Theorem 1's bound is not claimed, but
+    both are polynomial in ``k`` of degree ``c``.
+    """
+    _validate(n, k, b, c)
+    return (n * n * k * b) ** c * factorial(n * b)
+
+
+def nonblocking_bound(n: int, k: int, c: int) -> int:
+    """The non-blocking special case ``(n^2 k)^c * n!``.
+
+    In a non-blocking program the only blocking action is the
+    fictitious thread-termination step, so ``b = 1``.
+    """
+    _validate(n, k, None, c)
+    return (n * n * k) ** c * factorial(n)
+
+
+def growth_table(n: int, b: int, c: int, ks: list[int]) -> list[tuple[int, int, int]]:
+    """(k, Theorem-1 bound, unbounded count) rows for increasing ``k``.
+
+    Used by the Theorem 1 benchmark to exhibit polynomial versus
+    exponential growth in the execution depth.
+    """
+    rows = []
+    for k in ks:
+        rows.append(
+            (
+                k,
+                executions_with_preemptions_upper(n, k, b, c),
+                total_executions_upper(n, k),
+            )
+        )
+    return rows

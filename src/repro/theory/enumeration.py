@@ -1,0 +1,89 @@
+"""Exhaustive enumeration of a program's executions (ground truth).
+
+For programs small enough, these helpers enumerate *every* maximal
+execution with its preemption count.  Tests and benchmarks use the
+results to validate:
+
+* Theorem 1: the per-bound execution counts against the combinatorial
+  upper bound;
+* ICB's bound-ordering: the minimal-preemption witness ICB returns for
+  a bug against the brute-force minimum;
+* strategy completeness: every strategy that claims exhaustion visits
+  the same executions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.execution import ExecutionConfig, Schedule
+from ..core.program import Program
+from ..core.transition import ProgramStateSpace
+from ..errors import BugReport
+
+
+def enumerate_executions(
+    program: Program,
+    config: Optional[ExecutionConfig] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[Schedule, int, Tuple[BugReport, ...]]]:
+    """Yield (schedule, preemptions, bugs) for every maximal execution.
+
+    Depth-first, deterministic order.  ``limit`` stops the enumeration
+    after that many executions (a safety valve for accidentally large
+    programs in tests).
+    """
+    space = ProgramStateSpace(program, config)
+    initial = space.initial_state()
+    if space.is_terminal(initial):
+        yield (), 0, space.bugs(initial)
+        return
+    produced = 0
+    stack = [(initial, tid) for tid in reversed(space.enabled(initial))]
+    while stack:
+        state, tid = stack.pop()
+        successor = space.execute(state, tid)
+        if space.is_terminal(successor):
+            yield (
+                space.schedule_of(successor),
+                space.preemptions(successor),
+                space.bugs(successor),
+            )
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+            continue
+        for other in reversed(space.enabled(successor)):
+            stack.append((successor, other))
+
+
+def count_by_preemptions(
+    program: Program,
+    config: Optional[ExecutionConfig] = None,
+    limit: Optional[int] = None,
+) -> Dict[int, int]:
+    """Histogram: number of maximal executions per preemption count."""
+    counter: Counter[int] = Counter()
+    for _, preemptions, _ in enumerate_executions(program, config, limit):
+        counter[preemptions] += 1
+    return dict(sorted(counter.items()))
+
+
+def brute_force_minimal_bug(
+    program: Program,
+    config: Optional[ExecutionConfig] = None,
+    limit: Optional[int] = None,
+) -> Optional[int]:
+    """The true minimum preemption count over all buggy executions.
+
+    ``None`` if no execution exhibits a bug.  Exhaustive, so only for
+    small programs; ICB's first bug must match this value (tested in
+    the property suite).
+    """
+    best: Optional[int] = None
+    for _, _, bugs in enumerate_executions(program, config, limit):
+        for bug in bugs:
+            if best is None or bug.preemptions < best:
+                best = bug.preemptions
+    return best

@@ -1,0 +1,40 @@
+"""The ZING-style explicit-state model checker.
+
+ZING, the second model checker the paper implements ICB in, verifies
+*models* of concurrent software: explicit-state transition systems
+explored depth-first with state caching, heap-symmetry reduction and
+delta-compressed search stacks.  This package provides:
+
+* :mod:`repro.zing.model` -- a small modeling framework: threads are
+  straight-line instruction lists over shared globals, each
+  instruction an atomic guarded action (the granularity of a ZING
+  ``atomic`` block);
+* :mod:`repro.zing.symmetry` -- canonicalization of states containing
+  symbolic heap references (heap-symmetry reduction);
+* :mod:`repro.zing.delta` -- delta-compressed state stacks (ZING
+  "maintains the stack compactly using state-delta compression");
+* :mod:`repro.zing.checker` -- the explicit-state realization of the
+  :class:`~repro.core.transition.StateSpace` interface, so ICB and
+  every baseline strategy run on ZING models unchanged, plus a
+  classic DFS-with-caching checker.
+"""
+
+from .checker import ZingChecker, ZingStateSpace
+from .delta import DeltaStack
+from .model import Instr, ZingCtx, ZingModel, acquire, atomic, guarded, release
+from .symmetry import Ref, canonicalize
+
+__all__ = [
+    "DeltaStack",
+    "Instr",
+    "Ref",
+    "ZingChecker",
+    "ZingCtx",
+    "ZingModel",
+    "ZingStateSpace",
+    "acquire",
+    "atomic",
+    "canonicalize",
+    "guarded",
+    "release",
+]

@@ -1,0 +1,114 @@
+"""Delta-compressed state stacks.
+
+ZING "maintains the stack compactly using state-delta compression":
+instead of storing every state on the DFS stack in full, each entry
+stores only the differences from the entry below it.  This module
+implements that structure for the flattened dict states of the
+modeling framework: pushes store *inverse* deltas (how to get back to
+the previous top), so pops cost only the size of the diff.  The
+compression ratio it achieves on real search stacks is measured by the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Tuple
+
+Flat = Dict[Tuple[Hashable, ...], Any]
+
+#: Sentinel: the key was absent in the previous state.
+_ABSENT = object()
+
+
+def flatten(value: Any, prefix: Tuple[Hashable, ...] = ()) -> Flat:
+    """Flatten nested dicts/sequences into path -> leaf mappings."""
+    out: Flat = {}
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            out.update(flatten(sub, prefix + (key,)))
+        if not value:
+            out[prefix + ("<empty-dict>",)] = True
+    elif isinstance(value, (list, tuple)):
+        for index, sub in enumerate(value):
+            out.update(flatten(sub, prefix + (index,)))
+        out[prefix + ("<len>",)] = len(value)
+    else:
+        out[prefix] = value
+    return out
+
+
+class DeltaStack:
+    """A stack of flattened states stored as successive inverse diffs."""
+
+    def __init__(self) -> None:
+        #: Inverse deltas: applying ``_deltas[i]`` to the state at
+        #: position ``i`` yields the state at position ``i - 1``.
+        self._deltas: List[Flat] = []
+        self._top: Flat = {}
+        #: Total diff entries stored (the compressed footprint).
+        self.stored_entries = 0
+        #: Total leaf entries a naive full-state stack would store.
+        self.naive_entries = 0
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def push(self, flat: Flat) -> None:
+        """Push a flattened state, storing only its diff from the top."""
+        inverse: Flat = {}
+        for path, value in flat.items():
+            previous = self._top.get(path, _ABSENT)
+            if previous is _ABSENT:
+                inverse[path] = _ABSENT
+            elif previous != value:
+                inverse[path] = previous
+        for path, previous in self._top.items():
+            if path not in flat:
+                inverse[path] = previous
+        self._deltas.append(inverse)
+        self._top = dict(flat)
+        self.stored_entries += len(inverse)
+        self.naive_entries += len(flat)
+
+    def pop(self) -> Flat:
+        """Pop and return the top state, in full."""
+        if not self._deltas:
+            raise IndexError("pop from empty DeltaStack")
+        top = dict(self._top)
+        inverse = self._deltas.pop()
+        for path, previous in inverse.items():
+            if previous is _ABSENT:
+                self._top.pop(path, None)
+            else:
+                self._top[path] = previous
+        return top
+
+    def peek(self) -> Flat:
+        """The top state, in full."""
+        if not self._deltas:
+            raise IndexError("peek of empty DeltaStack")
+        return dict(self._top)
+
+    def reconstruct(self, index: int) -> Flat:
+        """The state at stack position ``index`` (0 = bottom), in full.
+
+        Costs the sum of the diff sizes above ``index``; the common
+        cases (top, near-top) are cheap.
+        """
+        if not 0 <= index < len(self._deltas):
+            raise IndexError(f"no state at index {index}")
+        state = dict(self._top)
+        for inverse in reversed(self._deltas[index + 1 :]):
+            for path, previous in inverse.items():
+                if previous is _ABSENT:
+                    state.pop(path, None)
+                else:
+                    state[path] = previous
+        return state
+
+    @property
+    def compression_ratio(self) -> float:
+        """Stored diff entries / naive full-state entries."""
+        if self.naive_entries == 0:
+            return 1.0
+        return self.stored_entries / self.naive_entries

@@ -1,0 +1,198 @@
+"""The ZING-style modeling framework.
+
+A :class:`ZingModel` describes a concurrent system as a fixed set of
+threads, each a straight-line list of :class:`Instr` instructions over
+shared *globals* and per-thread *locals*.  Each instruction is an
+atomic guarded action -- the granularity of a ZING ``atomic`` block:
+
+* the **guard** (optional) decides enabledness; a thread whose next
+  instruction's guard is false is blocked (a context switch away from
+  it is nonpreempting);
+* the **action** runs atomically: it reads and writes globals/locals
+  through a :class:`ZingCtx` and may jump (``ctx.goto``), terminate the
+  thread (``ctx.finish``) or fail an assertion (``ctx.require``).
+
+States are plain nested dicts, frozen and canonicalized (including
+heap-symmetry renaming of :class:`~repro.zing.symmetry.Ref` values) by
+the checker.
+
+Example -- two threads incrementing under a lock::
+
+    class Counter(ZingModel):
+        name = "counter"
+        thread_labels = ("a", "b")
+
+        def initial_globals(self):
+            return {"lock": None, "n": 0}
+
+        def program(self, index):
+            return [
+                acquire("lock"),
+                atomic(lambda ctx: ctx.g.__setitem__("n", ctx.g["n"] + 1)),
+                release("lock"),
+            ]
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ProgramAssertionError, ProgramDefinitionError
+
+
+class ZingCtx:
+    """The view an instruction's action gets of the model state.
+
+    ``g`` and ``l`` are mutable dicts (shared globals and the thread's
+    locals); mutations become the successor state.  ``me`` is the
+    executing thread's index.
+    """
+
+    def __init__(self, me: int, g: Dict[str, Any], l: Dict[str, Any]) -> None:
+        self.me = me
+        self.g = g
+        self.l = l
+        self.jump: Optional[str] = None
+        self.finished = False
+
+    def goto(self, label: str) -> None:
+        """Continue at the instruction with the given label."""
+        self.jump = label
+
+    def finish(self) -> None:
+        """Terminate the executing thread."""
+        self.finished = True
+
+    def require(self, condition: Any, message: str = "assertion failed") -> None:
+        """Model assertion; a falsy condition is a bug in the model."""
+        if not condition:
+            raise ProgramAssertionError(message)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One atomic instruction of a thread's program."""
+
+    action: Callable[[ZingCtx], None]
+    guard: Optional[Callable[[ZingCtx], bool]] = None
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = self.label or getattr(self.action, "__name__", "action")
+        blocking = " guarded" if self.guard else ""
+        return f"<Instr {tag}{blocking}>"
+
+
+def atomic(action: Callable[[ZingCtx], None], label: Optional[str] = None) -> Instr:
+    """An always-enabled atomic action."""
+    return Instr(action=action, label=label)
+
+
+def guarded(
+    guard: Callable[[ZingCtx], bool],
+    action: Callable[[ZingCtx], None],
+    label: Optional[str] = None,
+) -> Instr:
+    """A potentially-blocking atomic action."""
+    return Instr(action=action, guard=guard, label=label)
+
+
+def acquire(lock: str, label: Optional[str] = None) -> Instr:
+    """Block until global ``lock`` is free (None), then take it."""
+
+    def guard(ctx: ZingCtx) -> bool:
+        return ctx.g[lock] is None
+
+    def action(ctx: ZingCtx) -> None:
+        ctx.g[lock] = ctx.me
+
+    return Instr(action=action, guard=guard, label=label)
+
+
+def release(lock: str, label: Optional[str] = None) -> Instr:
+    """Release global ``lock``; asserts the caller holds it."""
+
+    def action(ctx: ZingCtx) -> None:
+        ctx.require(ctx.g[lock] == ctx.me, f"release of {lock} not held by releaser")
+        ctx.g[lock] = None
+
+    return Instr(action=action, label=label)
+
+
+class ZingModel(abc.ABC):
+    """A closed concurrent system in the modeling language.
+
+    Subclasses define ``name``, ``thread_labels``, the initial globals
+    and per-thread programs (and optionally per-thread initial locals).
+    """
+
+    name: str = "zing-model"
+    thread_labels: Tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def initial_globals(self) -> Dict[str, Any]:
+        """The initial shared state."""
+
+    @abc.abstractmethod
+    def program(self, index: int) -> Sequence[Instr]:
+        """The instruction list of thread ``index``."""
+
+    def initial_locals(self, index: int) -> Dict[str, Any]:
+        """The initial locals of thread ``index`` (default empty)."""
+        return {}
+
+    # -- compiled form -----------------------------------------------------
+
+    def compile(self) -> "CompiledModel":
+        """Resolve labels and validate the model."""
+        if not self.thread_labels:
+            raise ProgramDefinitionError(f"model {self.name!r} declares no threads")
+        programs: List[Tuple[Instr, ...]] = []
+        label_maps: List[Dict[str, int]] = []
+        for index in range(len(self.thread_labels)):
+            instrs = tuple(self.program(index))
+            if not instrs:
+                raise ProgramDefinitionError(
+                    f"thread {self.thread_labels[index]!r} of {self.name!r} "
+                    "has an empty program"
+                )
+            labels: Dict[str, int] = {}
+            for pc, instr in enumerate(instrs):
+                if instr.label is not None:
+                    if instr.label in labels:
+                        raise ProgramDefinitionError(
+                            f"duplicate label {instr.label!r} in thread "
+                            f"{self.thread_labels[index]!r}"
+                        )
+                    labels[instr.label] = pc
+            programs.append(instrs)
+            label_maps.append(labels)
+        return CompiledModel(self, tuple(programs), tuple(label_maps))
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """A validated model with label-resolved programs."""
+
+    model: ZingModel
+    programs: Tuple[Tuple[Instr, ...], ...]
+    label_maps: Tuple[Dict[str, int], ...]
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    @property
+    def thread_labels(self) -> Tuple[str, ...]:
+        return self.model.thread_labels
+
+    def resolve(self, index: int, label: str) -> int:
+        try:
+            return self.label_maps[index][label]
+        except KeyError:
+            raise ProgramDefinitionError(
+                f"goto to unknown label {label!r} in thread "
+                f"{self.thread_labels[index]!r}"
+            ) from None

@@ -1,0 +1,74 @@
+"""Bug reports and error types."""
+
+from __future__ import annotations
+
+from repro import BugKind, BugReport
+from repro.core.thread import ThreadId
+from repro.errors import ProgramAssertionError, ReproError, SchedulingError
+
+
+class TestBugReport:
+    def make(self, **overrides):
+        defaults = dict(
+            kind=BugKind.ASSERTION,
+            message="boom",
+            thread=ThreadId((0,), "t"),
+            schedule=(ThreadId((0,), "t"), ThreadId((1,), "u")),
+            preemptions=1,
+            step_index=2,
+        )
+        defaults.update(overrides)
+        return BugReport(**defaults)
+
+    def test_signature_ignores_schedule(self):
+        a = self.make()
+        b = self.make(schedule=(), preemptions=5)
+        assert a.signature == b.signature
+
+    def test_signature_distinguishes_kind_and_message(self):
+        assert self.make().signature != self.make(message="other").signature
+        assert (
+            self.make().signature
+            != self.make(kind=BugKind.DEADLOCK).signature
+        )
+
+    def test_describe_contains_essentials(self):
+        text = self.make().describe()
+        assert "[assertion] boom" in text
+        assert "preemptions: 1" in text
+        assert "t u" in text  # the schedule rendering
+
+    def test_describe_with_details(self):
+        report = self.make(details=(("variable", "x"),))
+        assert "variable: x" in report.describe()
+
+    def test_str_compact(self):
+        assert "assertion" in str(self.make())
+        assert "preemptions=1" in str(self.make())
+
+    def test_reports_are_immutable(self):
+        report = self.make()
+        try:
+            report.message = "changed"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestExceptionHierarchy:
+    def test_scheduling_error_is_repro_error(self):
+        assert issubclass(SchedulingError, ReproError)
+
+    def test_program_assertion_is_assertion_error(self):
+        # So bare `assert` in harness code and `check()` behave alike
+        # under pytest while remaining distinguishable to the engine.
+        assert issubclass(ProgramAssertionError, AssertionError)
+        exc = ProgramAssertionError("msg")
+        assert exc.message == "msg"
+
+    def test_bug_kind_values_are_stable(self):
+        # These strings appear in persisted benchmark outputs.
+        assert str(BugKind.DATA_RACE) == "data-race"
+        assert str(BugKind.USE_AFTER_FREE) == "use-after-free"
+        assert str(BugKind.DEADLOCK) == "deadlock"

@@ -1,0 +1,186 @@
+"""Heap lifetime checking: use-after-free, double-free, guards."""
+
+from __future__ import annotations
+
+from repro import BugKind, Execution, ExecutionConfig, Program, alloc
+
+
+def run(setup, **config_kwargs):
+    config = ExecutionConfig(**config_kwargs) if config_kwargs else None
+    return Execution(Program("p", setup), config).run_round_robin()
+
+
+class TestHeapBasics:
+    def test_setup_allocation_and_field_access(self):
+        seen = []
+
+        def setup(w):
+            obj = w.alloc("node", value=7, next=None)
+
+            def t():
+                seen.append((yield obj.read("value")))
+                yield obj.write("value", 8)
+                seen.append((yield obj.read("value")))
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert not ex.failed
+        assert seen == [7, 8]
+
+    def test_runtime_allocation(self):
+        seen = []
+
+        def setup(w):
+            def t():
+                ref = yield alloc("node", value=1)
+                seen.append((yield ref.read("value")))
+
+            return {"t": t}
+
+        run(setup)
+        assert seen == [1]
+
+    def test_runtime_allocations_get_unique_names(self):
+        def setup(w):
+            def t():
+                yield alloc("node", value=1)
+                yield alloc("node", value=2)
+
+            return {"t1": t, "t2": t}
+
+        ex = run(setup)
+        assert not ex.failed
+
+    def test_unknown_field_is_reported(self):
+        def setup(w):
+            obj = w.alloc("node", value=1)
+
+            def t():
+                yield obj.read("missing")
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.failed
+        assert ex.bugs[0].kind is BugKind.INVARIANT
+
+
+class TestUseAfterFree:
+    def test_read_after_free(self):
+        def setup(w):
+            obj = w.alloc("node", value=1)
+
+            def t():
+                yield obj.free()
+                yield obj.read("value")
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.bugs[0].kind is BugKind.USE_AFTER_FREE
+
+    def test_write_after_free(self):
+        def setup(w):
+            obj = w.alloc("node", value=1)
+
+            def t():
+                yield obj.free()
+                yield obj.write("value", 2)
+
+            return {"t": t}
+
+        assert run(setup).bugs[0].kind is BugKind.USE_AFTER_FREE
+
+    def test_double_free(self):
+        def setup(w):
+            obj = w.alloc("node", value=1)
+
+            def t():
+                yield obj.free()
+                yield obj.free()
+
+            return {"t": t}
+
+        assert run(setup).bugs[0].kind is BugKind.DOUBLE_FREE
+
+    def test_guarded_sync_object_dies_with_owner(self):
+        """EnterCriticalSection on a CS inside a freed object (Fig. 3)."""
+
+        def setup(w):
+            obj = w.alloc("channel", data=0)
+            cs = w.critical_section("m_baseCS", guard=obj)
+
+            def t():
+                yield obj.free()
+                yield cs.enter()
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.bugs[0].kind is BugKind.USE_AFTER_FREE
+        assert "m_baseCS" in ex.bugs[0].message
+
+    def test_guarded_object_fine_while_alive(self):
+        def setup(w):
+            obj = w.alloc("channel", data=0)
+            cs = w.critical_section("m_baseCS", guard=obj)
+
+            def t():
+                yield cs.enter()
+                yield cs.leave()
+                yield obj.free()
+
+            return {"t": t}
+
+        assert not run(setup).failed
+
+    def _free_race_setup(self, w):
+        obj = w.alloc("node", value=1)
+        sync = w.atomic("sync", 0)
+
+        def reader():
+            yield sync.add(1)
+            yield obj.read("value")
+
+        def freer():
+            yield sync.add(1)
+            yield obj.free()
+
+        return {"reader": reader, "freer": freer}
+
+    def test_free_conflicts_extension_flags_unordered_free(self):
+        """Even when the access happens to execute first, an unordered
+        free conflicts with it under the free_conflicts extension."""
+        # Round-robin runs the reader fully before the free, so the
+        # freed-flag check never fires -- but the accesses are
+        # unordered, which the extension reports as a race.
+        ex = run(self._free_race_setup, free_conflicts=True)
+        assert any(
+            b.kind in (BugKind.DATA_RACE, BugKind.USE_AFTER_FREE) for b in ex.bugs
+        )
+
+    def test_default_matches_paper_checker(self):
+        """By default (as in the paper's CHESS) only schedules where
+        the access physically follows the free are flagged."""
+        ex = run(self._free_race_setup)
+        assert not ex.bugs
+
+    def test_ordered_free_is_not_a_race(self):
+        from repro import join, spawn
+
+        def setup(w):
+            obj = w.alloc("node", value=1)
+
+            def reader():
+                yield obj.read("value")
+
+            def main():
+                handle = yield spawn(reader)
+                yield join(handle)
+                yield obj.free()
+
+            return {"main": main}
+
+        ex = run(setup)
+        assert not ex.bugs

@@ -1,0 +1,465 @@
+"""Synchronization primitive semantics, exercised through the engine."""
+
+from __future__ import annotations
+
+from repro import BugKind, Execution, ExecutionConfig, Program, check
+
+
+def run(setup, config=None):
+    return Execution(Program("p", setup), config).run_round_robin()
+
+
+class TestMutex:
+    def test_mutual_exclusion_blocks_second_acquirer(self):
+        trace = []
+
+        def setup(w):
+            lock = w.mutex("lock")
+            ev = w.event("ev")
+
+            def first():
+                yield lock.acquire()
+                trace.append("first-in")
+                yield ev.set()
+                trace.append("first-out")
+                yield lock.release()
+
+            def second():
+                yield ev.wait()
+                yield lock.acquire()
+                trace.append("second-in")
+                yield lock.release()
+
+            return {"first": first, "second": second}
+
+        ex = run(setup)
+        assert not ex.failed
+        assert trace == ["first-in", "first-out", "second-in"]
+
+    def test_release_without_holding_is_lock_error(self):
+        def setup(w):
+            lock = w.mutex("lock")
+
+            def t():
+                yield lock.release()
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.bugs[0].kind is BugKind.LOCK_ERROR
+
+    def test_release_of_foreign_lock_is_lock_error(self):
+        def setup(w):
+            lock = w.mutex("lock")
+            ev = w.event("ev")
+
+            def owner():
+                yield lock.acquire()
+                yield ev.set()
+
+            def intruder():
+                yield ev.wait()
+                yield lock.release()
+
+            return {"owner": owner, "intruder": intruder}
+
+        ex = run(setup)
+        assert ex.bugs[0].kind is BugKind.LOCK_ERROR
+
+    def test_try_acquire_never_blocks(self):
+        results = []
+
+        def setup(w):
+            lock = w.mutex("lock")
+            ev = w.event("ev")
+
+            def holder():
+                yield lock.acquire()
+                yield ev.set()
+
+            def prober():
+                yield ev.wait()
+                got = yield lock.try_acquire()
+                results.append(got)
+
+            return {"holder": holder, "prober": prober}
+
+        ex = run(setup)
+        assert not ex.failed
+        assert results == [False]
+
+    def test_self_acquire_deadlocks(self):
+        def setup(w):
+            lock = w.mutex("lock")
+
+            def t():
+                yield lock.acquire()
+                yield lock.acquire()
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.deadlocked
+        assert ex.bugs[0].kind is BugKind.DEADLOCK
+
+
+class TestCriticalSection:
+    def test_reentrant_entry_succeeds(self):
+        def setup(w):
+            cs = w.critical_section("cs")
+
+            def t():
+                yield cs.enter()
+                yield cs.enter()
+                yield cs.leave()
+                yield cs.leave()
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.completed and not ex.failed
+        assert ex.world.find("cs").holder is None
+
+    def test_leave_by_non_owner_is_lock_error(self):
+        def setup(w):
+            cs = w.critical_section("cs")
+
+            def t():
+                yield cs.leave()
+
+            return {"t": t}
+
+        assert run(setup).bugs[0].kind is BugKind.LOCK_ERROR
+
+    def test_try_enter_respects_owner(self):
+        results = []
+
+        def setup(w):
+            cs = w.critical_section("cs")
+            ev = w.event("ev")
+
+            def owner():
+                yield cs.enter()
+                got = yield cs.try_enter()  # re-entrant: succeeds
+                results.append(got)
+                yield ev.set()
+
+            def other():
+                yield ev.wait()
+                got = yield cs.try_enter()
+                results.append(got)
+
+            return {"owner": owner, "other": other}
+
+        run(setup)
+        assert results == [True, False]
+
+
+class TestEvent:
+    def test_manual_reset_stays_signalled(self):
+        def setup(w):
+            ev = w.event("ev")
+            hits = w.atomic("hits", 0)
+
+            def setter():
+                yield ev.set()
+
+            def waiter():
+                yield ev.wait()
+                yield ev.wait()  # still signalled
+                yield hits.add(1)
+
+            return {"setter": setter, "waiter": waiter}
+
+        ex = run(setup)
+        assert not ex.failed
+        assert ex.world.find("hits").value == 1
+
+    def test_auto_reset_releases_one_waiter(self):
+        def setup(w):
+            ev = w.event("ev", auto_reset=True)
+            woke = w.atomic("woke", 0)
+
+            def w1():
+                yield ev.wait()
+                yield woke.add(1)
+
+            def w2():
+                yield ev.wait()
+                yield woke.add(1)
+
+            def setter():
+                yield ev.set()
+
+            return {"w1": w1, "w2": w2, "setter": setter}
+
+        ex = Execution(
+            Program("p", setup), ExecutionConfig(deadlock_is_bug=False)
+        ).run_round_robin()
+        # Exactly one waiter consumed the event; the other deadlocked.
+        assert ex.world.find("woke").value == 1
+        assert ex.deadlocked
+
+    def test_initially_set_event(self):
+        def setup(w):
+            ev = w.event("ev", initial=True)
+
+            def t():
+                yield ev.wait()
+
+            return {"t": t}
+
+        assert run(setup).completed
+
+    def test_reset_clears_event(self):
+        def setup(w):
+            ev = w.event("ev", initial=True)
+
+            def t():
+                yield ev.reset()
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.world.find("ev").is_set is False
+
+
+class TestSemaphore:
+    def test_counting_behaviour(self):
+        def setup(w):
+            sem = w.semaphore("sem", initial=2)
+            inside = w.atomic("inside", 0)
+
+            def t():
+                yield sem.acquire()
+                n = yield inside.add(1)
+                check(n <= 2, "more threads than permits")
+                yield inside.add(-1)
+                yield sem.release()
+
+            return {f"t{i}": t for i in range(3)}
+
+        assert not run(setup).failed
+
+    def test_release_past_maximum_is_bug(self):
+        def setup(w):
+            sem = w.semaphore("sem", initial=1, maximum=1)
+
+            def t():
+                yield sem.release()
+
+            return {"t": t}
+
+        assert run(setup).bugs[0].kind is BugKind.LOCK_ERROR
+
+    def test_acquire_blocks_at_zero(self):
+        def setup(w):
+            sem = w.semaphore("sem", initial=0)
+
+            def t():
+                yield sem.acquire()
+
+            return {"t": t}
+
+        assert run(setup).deadlocked
+
+
+class TestCondVar:
+    def test_wait_releases_mutex_and_reacquires(self):
+        def setup(w):
+            lock = w.mutex("lock")
+            cv = w.condvar("cv")
+            state = w.var("state", "empty")
+
+            def consumer():
+                yield lock.acquire()
+                while True:
+                    value = yield state.read()
+                    if value == "full":
+                        break
+                    yield cv.wait(lock)
+                yield state.write("taken")
+                yield lock.release()
+
+            def producer():
+                yield lock.acquire()
+                yield state.write("full")
+                yield cv.notify()
+                yield lock.release()
+
+            return {"consumer": consumer, "producer": producer}
+
+        ex = run(setup)
+        assert not ex.failed
+        assert ex.world.find("state").value == "taken"
+
+    def test_wait_without_mutex_is_lock_error(self):
+        def setup(w):
+            lock = w.mutex("lock")
+            cv = w.condvar("cv")
+
+            def t():
+                yield cv.wait(lock)
+
+            return {"t": t}
+
+        assert run(setup).bugs[0].kind is BugKind.LOCK_ERROR
+
+    def test_notify_with_no_waiters_is_noop(self):
+        def setup(w):
+            cv = w.condvar("cv")
+
+            def t():
+                yield cv.notify()
+                yield cv.broadcast()
+
+            return {"t": t}
+
+        assert run(setup).completed
+
+    def test_broadcast_wakes_all_waiters(self):
+        def setup(w):
+            lock = w.mutex("lock")
+            cv = w.condvar("cv")
+            go = w.var("go", False)
+            woke = w.atomic("woke", 0)
+            parked = w.atomic("parked", 0)
+
+            def waiter():
+                yield lock.acquire()
+                while True:
+                    ready = yield go.read()
+                    if ready:
+                        break
+                    yield parked.add(1)
+                    yield cv.wait(lock)
+                yield woke.add(1)
+                yield lock.release()
+
+            def waker():
+                # Wait until both waiters are parked, boundedly.
+                for _ in range(50):
+                    count = yield parked.read()
+                    if count == 2:
+                        break
+                yield lock.acquire()
+                yield go.write(True)
+                yield cv.broadcast()
+                yield lock.release()
+
+            return {"w1": waiter, "w2": waiter, "waker": waker}
+
+        ex = run(setup)
+        assert not ex.failed
+        assert ex.world.find("woke").value == 2
+
+    def test_lost_notify_deadlocks(self):
+        """Notify before wait is lost (Mesa semantics)."""
+
+        def setup(w):
+            lock = w.mutex("lock")
+            cv = w.condvar("cv")
+
+            def notifier():
+                yield cv.notify()
+
+            def waiter():
+                yield lock.acquire()
+                yield cv.wait(lock)
+                yield lock.release()
+
+            return {"notifier": notifier, "waiter": waiter}
+
+        assert run(setup).deadlocked
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        def setup(w):
+            rw = w.rwlock("rw")
+            inside = w.atomic("inside", 0)
+            both = w.atomic("both", 0)
+
+            def reader():
+                yield rw.acquire_read()
+                n = yield inside.add(1)
+                if n == 2:
+                    yield both.add(1)
+                yield inside.add(-1)
+                yield rw.release()
+
+            return {"r1": reader, "r2": reader}
+
+        ex = run(setup)
+        assert not ex.failed
+
+    def test_writer_excludes_readers(self):
+        def setup(w):
+            rw = w.rwlock("rw")
+            ev = w.event("ev")
+            observed = []
+
+            def writer():
+                yield rw.acquire_write()
+                yield ev.set()
+                yield rw.release()
+
+            def reader():
+                yield ev.wait()
+                yield rw.acquire_read()
+                observed.append("read")
+                yield rw.release()
+
+            return {"writer": writer, "reader": reader}
+
+        assert not run(setup).failed
+
+    def test_release_without_holding_is_lock_error(self):
+        def setup(w):
+            rw = w.rwlock("rw")
+
+            def t():
+                yield rw.release()
+
+            return {"t": t}
+
+        assert run(setup).bugs[0].kind is BugKind.LOCK_ERROR
+
+
+class TestBarrier:
+    def test_all_parties_pass_together(self):
+        def setup(w):
+            barrier = w.barrier("b", parties=3)
+            passed = w.atomic("passed", 0)
+
+            def t():
+                yield from barrier.wait()
+                yield passed.add(1)
+
+            return {f"t{i}": t for i in range(3)}
+
+        ex = run(setup)
+        assert not ex.failed
+        assert ex.world.find("passed").value == 3
+
+    def test_missing_party_blocks_everyone(self):
+        def setup(w):
+            barrier = w.barrier("b", parties=3)
+
+            def t():
+                yield from barrier.wait()
+
+            return {"t0": t, "t1": t}
+
+        assert run(setup).deadlocked
+
+    def test_single_party_barrier_is_transparent(self):
+        def setup(w):
+            barrier = w.barrier("b", parties=1)
+
+            def t():
+                yield from barrier.wait()
+
+            return {"t": t}
+
+        assert run(setup).completed

@@ -1,0 +1,89 @@
+"""Thread identities and per-thread state."""
+
+from __future__ import annotations
+
+from repro.core.thread import ThreadHandle, ThreadId, ThreadState, ThreadStatus
+from repro.core.sync import Event
+from repro.core.world import World
+
+
+class TestThreadId:
+    def test_ordering_by_path(self):
+        ids = [ThreadId((1,)), ThreadId((0, 2)), ThreadId((0,)), ThreadId((0, 1))]
+        assert sorted(ids) == [
+            ThreadId((0,)),
+            ThreadId((0, 1)),
+            ThreadId((0, 2)),
+            ThreadId((1,)),
+        ]
+
+    def test_equality_ignores_label(self):
+        assert ThreadId((0,), "a") == ThreadId((0,), "b")
+        assert hash(ThreadId((0,), "a")) == hash(ThreadId((0,), "b"))
+
+    def test_child_ids(self):
+        parent = ThreadId((2,), "main")
+        child = parent.child(0, "worker")
+        assert child.path == (2, 0)
+        assert str(child) == "worker"
+        grandchild = child.child(3)
+        assert grandchild.path == (2, 0, 3)
+
+    def test_str_falls_back_to_path(self):
+        assert str(ThreadId((1, 2))) == "1.2"
+
+    def test_repr(self):
+        assert "ThreadId" in repr(ThreadId((0,), "t"))
+
+
+class TestThreadHandle:
+    def test_hashable_and_comparable(self):
+        a = ThreadHandle(ThreadId((0, 0), "w"))
+        b = ThreadHandle(ThreadId((0, 0), "w"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestThreadState:
+    def make(self):
+        w = World()
+
+        def body():
+            yield None  # pragma: no cover - never started here
+
+        created = Event(w, "c", initial=True)
+        done = Event(w, "d")
+        return ThreadState(ThreadId((0,), "t"), body, (), created, done)
+
+    def test_initial_state(self):
+        thread = self.make()
+        assert thread.status is ThreadStatus.NEW
+        assert thread.alive
+        assert thread.steps == 0
+        assert thread.input_chain == 0
+
+    def test_input_chain_depends_on_values_and_order(self):
+        a, b = self.make(), self.make()
+        a.record_input(1)
+        a.record_input(2)
+        b.record_input(2)
+        b.record_input(1)
+        assert a.input_chain != b.input_chain
+
+    def test_input_chain_handles_unhashable(self):
+        thread = self.make()
+        thread.record_input([1, 2])  # falls back to repr hashing
+        assert thread.input_chain != 0
+
+    def test_local_fingerprint_changes_with_progress(self):
+        thread = self.make()
+        before = thread.local_fingerprint()
+        thread.steps += 1
+        assert thread.local_fingerprint() != before
+
+    def test_terminal_statuses_not_alive(self):
+        thread = self.make()
+        thread.status = ThreadStatus.FINISHED
+        assert not thread.alive
+        thread.status = ThreadStatus.FAILED
+        assert not thread.alive

@@ -1,0 +1,114 @@
+"""The replay-based state space (stateless exploration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionConfig, ProgramStateSpace, SchedulingPolicy
+from repro.programs import toy
+
+
+def make_space(program=None, **config_kwargs):
+    config = ExecutionConfig(**config_kwargs) if config_kwargs else None
+    return ProgramStateSpace(program or toy.chain_program(2, 2), config)
+
+
+class TestStateTokens:
+    def test_states_are_schedules(self):
+        space = make_space()
+        initial = space.initial_state()
+        assert initial == ()
+        tid = space.enabled(initial)[0]
+        successor = space.execute(initial, tid)
+        assert successor == (tid,)
+        assert space.schedule_of(successor) == (tid,)
+
+    def test_execute_does_not_mutate_argument(self):
+        space = make_space()
+        initial = space.initial_state()
+        t0, t1 = space.enabled(initial)
+        a = space.execute(initial, t0)
+        b = space.execute(initial, t1)  # revisiting the initial state
+        assert a != b
+        assert space.last_thread(a) == t0
+        assert space.last_thread(b) == t1
+
+    def test_last_thread_of_initial_is_none(self):
+        space = make_space()
+        assert space.last_thread(space.initial_state()) is None
+
+
+class TestReplayAccounting:
+    def test_linear_extension_does_not_replay(self):
+        space = make_space()
+        state = space.initial_state()
+        while not space.is_terminal(state):
+            state = space.execute(state, space.enabled(state)[0])
+        assert space.replays == 1  # only the initial construction
+
+    def test_divergence_forces_replay(self):
+        space = make_space()
+        initial = space.initial_state()
+        t0, t1 = space.enabled(initial)
+        a = space.execute(initial, t0)
+        space.execute(a, t0)
+        # Jump back to a sibling of the first step.
+        space.execute(initial, t1)
+        assert space.replays >= 2
+
+    def test_replay_counts_steps(self):
+        space = make_space()
+        initial = space.initial_state()
+        t0, t1 = space.enabled(initial)
+        a = space.execute(initial, t0)
+        space.execute(initial, t1)
+        space.execute(a, t0)  # back to the first branch: replays prefix
+        assert space.replay_steps >= 1
+
+
+class TestConsistency:
+    def test_fingerprints_stable_across_replays(self):
+        space = make_space()
+        initial = space.initial_state()
+        t0, t1 = space.enabled(initial)
+        a = space.execute(initial, t0)
+        fp_before = space.fingerprint(a)
+        space.execute(initial, t1)  # diverge
+        assert space.fingerprint(a) == fp_before  # forces replay
+
+    def test_preemptions_recomputed_after_replay(self):
+        space = make_space()
+        initial = space.initial_state()
+        t0, t1 = space.enabled(initial)
+        a = space.execute(initial, t0)
+        ab = space.execute(a, t1)  # preemption (t0 still enabled)
+        assert space.preemptions(ab) == 1
+        space.execute(initial, t1)
+        assert space.preemptions(ab) == 1  # replayed, same result
+
+    def test_execution_stats_shape(self):
+        space = make_space()
+        state = space.initial_state()
+        while not space.is_terminal(state):
+            state = space.execute(state, space.enabled(state)[0])
+        steps, blocking, preemptions = space.execution_stats(state)
+        assert steps > 0 and blocking > 0 and preemptions == 0
+
+    def test_thread_count(self):
+        space = make_space(toy.chain_program(3, 1))
+        assert space.thread_count(space.initial_state()) == 3
+
+    def test_supports_por_depends_on_policy(self):
+        assert not make_space().supports_por
+        assert make_space(policy=SchedulingPolicy.EVERY_ACCESS).supports_por
+
+    def test_bugs_surface_through_space(self):
+        space = make_space(toy.use_after_free_toy())
+        state = space.initial_state()
+        # Drive main (second thread) to completion first, then reader.
+        main = space.enabled(state)[1]
+        while main in space.enabled(state):
+            state = space.execute(state, main)
+        while not space.is_terminal(state):
+            state = space.execute(state, space.enabled(state)[0])
+        assert space.bugs(state)

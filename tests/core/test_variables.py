@@ -1,0 +1,235 @@
+"""Shared variable semantics: data vars, atomic vars, arrays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BugKind, Execution, ExecutionConfig, Program, RaceDetection
+from repro.core.variables import AtomicVar, SharedVar
+from repro.core.world import World
+
+
+def run(setup, **config_kwargs):
+    config = ExecutionConfig(**config_kwargs) if config_kwargs else None
+    return Execution(Program("p", setup), config).run_round_robin()
+
+
+class TestSharedVar:
+    def test_read_returns_initial_value(self):
+        seen = []
+
+        def setup(w):
+            v = w.var("v", 41)
+
+            def t():
+                seen.append((yield v.read()))
+
+            return {"t": t}
+
+        run(setup)
+        assert seen == [41]
+
+    def test_write_then_read(self):
+        seen = []
+
+        def setup(w):
+            v = w.var("v")
+
+            def t():
+                yield v.write("hello")
+                seen.append((yield v.read()))
+
+            return {"t": t}
+
+        run(setup)
+        assert seen == ["hello"]
+
+    def test_unhashable_value_is_reported(self):
+        def setup(w):
+            v = w.var("v")
+
+            def t():
+                yield v.write([1, 2, 3])
+
+            return {"t": t}
+
+        ex = run(setup)
+        assert ex.failed
+        assert ex.bugs[0].kind is BugKind.INVARIANT
+        assert "unhashable" in ex.bugs[0].message
+
+    def test_is_data_variable(self):
+        w = World()
+        assert SharedVar(w, "d").is_sync is False
+        assert AtomicVar(w, "a").is_sync is True
+
+
+class TestAtomicVar:
+    def test_cas_success_and_failure(self):
+        results = []
+
+        def setup(w):
+            a = w.atomic("a", 5)
+
+            def t():
+                results.append((yield a.cas(5, 6)))
+                results.append((yield a.cas(5, 7)))
+                results.append((yield a.read()))
+
+            return {"t": t}
+
+        run(setup)
+        assert results == [True, False, 6]
+
+    def test_add_returns_new_value(self):
+        results = []
+
+        def setup(w):
+            a = w.atomic("a", 10)
+
+            def t():
+                results.append((yield a.add(5)))
+                results.append((yield a.add(-15)))
+
+            return {"t": t}
+
+        run(setup)
+        assert results == [15, 0]
+
+    def test_exchange_returns_old_value(self):
+        results = []
+
+        def setup(w):
+            a = w.atomic("a", "old")
+
+            def t():
+                results.append((yield a.exchange("new")))
+                results.append((yield a.read()))
+
+            return {"t": t}
+
+        run(setup)
+        assert results == ["old", "new"]
+
+    def test_concurrent_atomics_never_race(self):
+        def setup(w):
+            a = w.atomic("a", 0)
+
+            def t():
+                v = yield a.read()
+                yield a.write(v + 1)
+
+            return {"t1": t, "t2": t}
+
+        ex = run(setup)
+        assert not any(b.kind is BugKind.DATA_RACE for b in ex.bugs)
+
+
+class TestArrays:
+    def test_elements_are_independent_variables(self):
+        def setup(w):
+            arr = w.array("arr", [0, 0, 0])
+
+            def t(i):
+                yield arr[i].write(i * 10)
+
+            return [(f"t{i}", t, (i,)) for i in range(3)]
+
+        ex = run(setup)
+        assert not ex.failed
+        assert [ex.world.find(f"arr[{i}]").value for i in range(3)] == [0, 10, 20]
+
+    def test_atomic_array(self):
+        def setup(w):
+            arr = w.array("arr", [0, 0], atomic=True)
+
+            def t():
+                yield arr[0].add(1)
+                yield arr[1].add(2)
+
+            return {"t1": t, "t2": t}
+
+        ex = run(setup)
+        assert ex.world.find("arr[0]").value == 2
+        assert ex.world.find("arr[1]").value == 4
+
+    def test_concurrent_distinct_elements_race_free(self):
+        def setup(w):
+            arr = w.array("arr", [0, 0])
+
+            def t(i):
+                v = yield arr[i].read()
+                yield arr[i].write(v + 1)
+
+            return [("t0", t, (0,)), ("t1", t, (1,))]
+
+        ex = run(setup)
+        assert not any(b.kind is BugKind.DATA_RACE for b in ex.bugs)
+
+
+class TestRaceReporting:
+    def racy_setup(self, w):
+        v = w.var("v", 0)
+
+        def t():
+            val = yield v.read()
+            yield v.write(val + 1)
+
+        return {"t1": t, "t2": t}
+
+    def test_unsynchronized_writes_race(self):
+        ex = run(self.racy_setup)
+        assert any(b.kind is BugKind.DATA_RACE for b in ex.bugs)
+
+    def test_detection_can_be_disabled(self):
+        ex = run(self.racy_setup, race_detection=RaceDetection.NONE)
+        assert not ex.bugs
+
+    def test_nonfatal_races_allow_completion(self):
+        ex = run(self.racy_setup, races_are_fatal=False)
+        assert ex.completed
+        assert any(b.kind is BugKind.DATA_RACE for b in ex.bugs)
+
+    def test_read_read_is_no_race_by_default(self):
+        def setup(w):
+            v = w.var("v", 1)
+
+            def t():
+                yield v.read()
+
+            return {"t1": t, "t2": t}
+
+        ex = run(setup)
+        assert not ex.bugs
+
+    def test_read_read_races_in_strict_mode(self):
+        def setup(w):
+            v = w.var("v", 1)
+
+            def t():
+                yield v.read()
+
+            return {"t1": t, "t2": t}
+
+        ex = run(setup, strict_races=True)
+        assert any(b.kind is BugKind.DATA_RACE for b in ex.bugs)
+
+    def test_parent_to_child_publication_is_ordered(self):
+        from repro import spawn, join
+
+        def setup(w):
+            v = w.var("v", 0)
+
+            def child():
+                yield v.read()
+
+            def main():
+                yield v.write(42)
+                handle = yield spawn(child)
+                yield join(handle)
+                yield v.write(0)
+
+            return {"main": main}
+
+        ex = run(setup)
+        assert not ex.bugs

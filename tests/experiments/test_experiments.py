@@ -1,0 +1,144 @@
+"""Experiment drivers: reporting, coverage, bug tables, Table 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker, DepthFirstSearch, IterativeContextBounding, RandomWalk
+from repro.experiments.bugs import BugsByBoundExperiment, bug_bound_table
+from repro.experiments.characteristics import (
+    ProgramCharacteristics,
+    characteristics_table,
+    count_loc,
+    measure_characteristics,
+)
+from repro.experiments.coverage import (
+    coverage_by_bound,
+    coverage_growth,
+    history_series,
+)
+from repro.experiments.reporting import render_curves, render_table
+from repro.programs import toy
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        text = render_table(["name", "n"], [["alpha", 1], ["b", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[3]  # title, header, rule, then rows
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) <= 2  # header/body aligned
+
+    def test_curves_render_all_series(self):
+        text = render_curves(
+            {"icb": [(0, 1), (10, 100)], "dfs": [(0, 1), (10, 20)]},
+            width=30,
+            height=8,
+            log_y=True,
+            title="growth",
+        )
+        assert "growth" in text
+        assert "o = icb" in text and "x = dfs" in text
+
+    def test_curves_handle_empty(self):
+        assert "(no data)" in render_curves({}, title="empty")
+
+    def test_curves_handle_single_point(self):
+        text = render_curves({"s": [(1.0, 5.0)]})
+        assert "o = s" in text
+
+
+class TestCoverageByBound:
+    def test_curve_reaches_full_coverage(self):
+        curve, result = coverage_by_bound(
+            lambda: ChessChecker(toy.chain_program(2, 2)).space()
+        )
+        assert result.completed
+        bounds = [b for b, _, _ in curve]
+        fractions = [f for _, _, f in curve]
+        assert bounds == list(range(len(bounds)))
+        assert fractions[-1] == pytest.approx(1.0)
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_bound_zero_covers_something(self):
+        curve, _ = coverage_by_bound(
+            lambda: ChessChecker(toy.chain_program(2, 2)).space()
+        )
+        assert curve[0][1] > 0
+
+
+class TestCoverageGrowth:
+    def test_budgeted_strategies_compared(self):
+        factory = lambda: ChessChecker(toy.chain_program(3, 2)).space()
+        results = coverage_growth(
+            factory,
+            {
+                "icb": IterativeContextBounding(),
+                "dfs": DepthFirstSearch(),
+                "random": RandomWalk(executions=10_000, seed=0),
+            },
+            max_executions=50,
+        )
+        assert set(results) == {"icb", "dfs", "random"}
+        for result in results.values():
+            assert result.executions <= 50
+
+    def test_history_series_sampling(self):
+        factory = lambda: ChessChecker(toy.chain_program(2, 2)).space()
+        results = coverage_growth(factory, {"dfs": DepthFirstSearch()}, 100)
+        series = history_series(results, sample_every=3)
+        full = history_series(results)
+        assert series["dfs"][-1] == full["dfs"][-1]
+        assert len(series["dfs"]) <= len(full["dfs"])
+
+
+class TestBugExperiment:
+    def test_records_minimal_bounds(self):
+        experiment = BugsByBoundExperiment(max_bound=2)
+        report = experiment.run_variant(
+            "toy", "atomic-counter",
+            lambda: ChessChecker(toy.atomic_counter_assert()).space(),
+        )
+        assert report is not None and report.preemptions == 1
+        headers, rows = bug_bound_table(experiment)
+        assert headers[:2] == ["Program", "Bugs"]
+        assert rows[0][0] == "toy"
+        assert rows[0][1] == 1  # one bug found
+        assert rows[0][3] == 1  # at bound 1
+
+    def test_clean_variant_records_none(self):
+        experiment = BugsByBoundExperiment(max_bound=1)
+        report = experiment.run_variant(
+            "toy", "correct", lambda: ChessChecker(toy.locked_counter()).space()
+        )
+        assert report is None
+        _, rows = bug_bound_table(experiment)
+        assert rows[0][1] == 0
+
+
+class TestCharacteristics:
+    def test_count_loc_skips_comments_and_docstrings(self):
+        from repro.programs import toy as toy_module
+
+        loc = count_loc(toy_module)
+        raw = len(open(toy_module.__file__).read().splitlines())
+        assert 0 < loc < raw
+
+    def test_measure_reports_positive_maxima(self):
+        entry = measure_characteristics(
+            "chain",
+            lambda: ChessChecker(toy.chain_program(2, 2)).space(),
+            loc=10,
+            executions=30,
+        )
+        assert entry.max_threads == 2
+        assert entry.max_k > 0
+        assert entry.max_b > 0
+        assert entry.max_c >= 1  # random walks preempt
+
+    def test_table_layout(self):
+        entry = ProgramCharacteristics("p", 10, 2, 5, 2, 1)
+        headers, rows = characteristics_table([entry])
+        assert headers[0] == "Programs"
+        assert rows == [["p", 10, 2, 5, 2, 1]]

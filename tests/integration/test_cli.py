@@ -1,0 +1,70 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_builtins(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bluetooth", "wsq", "dryad:use-after-free", "toy:deadlock"):
+            assert name in out
+
+
+class TestCheck:
+    def test_clean_program_exits_zero(self, capsys):
+        code = main(["check", "toy:dekker", "--bound", "1"])
+        assert code == 0
+        assert "0 bug(s)" in capsys.readouterr().out
+
+    def test_buggy_program_exits_nonzero(self, capsys):
+        code = main(["check", "toy:atomic-counter", "--stop-on-first-bug"])
+        assert code == 1
+        assert "lost update" in capsys.readouterr().out
+
+    def test_bound_guarantee_printed(self, capsys):
+        main(["check", "toy:dekker", "--bound", "1"])
+        assert "at most 1 preemption" in capsys.readouterr().out
+
+    def test_strategy_selection(self, capsys):
+        code = main(
+            ["check", "toy:racy-counter", "--strategy", "random",
+             "--executions", "50", "--stop-on-first-bug"]
+        )
+        assert code == 1
+
+    def test_policy_and_race_flags(self, capsys):
+        code = main(
+            ["check", "toy:racy-counter", "--no-race-detection", "--bound", "0"]
+        )
+        assert code == 0  # without race detection nothing fails at bound 0
+
+    def test_unknown_program_errors(self):
+        with pytest.raises(SystemExit):
+            main(["check", "no-such-program"])
+
+    def test_external_factory(self, capsys):
+        code = main(
+            ["check", "repro.programs.toy:lock_order_deadlock",
+             "--stop-on-first-bug"]
+        )
+        assert code == 1
+        assert "deadlock" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_prints_trace(self, capsys):
+        code = main(["explain", "toy:atomic-counter"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "preempting steps marked *" in out
+        assert "preemptions: 1" in out
+
+    def test_explain_clean_program(self, capsys):
+        code = main(["explain", "toy:dekker", "--bound", "1"])
+        assert code == 0
+        assert "no bug found" in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""Pluggable execution monitors."""
+
+from __future__ import annotations
+
+from repro import (
+    BugKind,
+    ChessChecker,
+    Execution,
+    ExecutionConfig,
+    FinalStateMonitor,
+    InvariantMonitor,
+    Program,
+    monitor_factory,
+)
+from repro.monitors import TraceCollector
+
+
+def counter_program(locked: bool):
+    def setup(w):
+        lock = w.mutex("lock")
+        n = w.atomic("n", 0)
+
+        def t():
+            if locked:
+                yield lock.acquire()
+            v = yield n.read()
+            yield n.write(v + 1)
+            if locked:
+                yield lock.release()
+
+        return {"t1": t, "t2": t}
+
+    return Program("counter", setup)
+
+
+class TestInvariantMonitor:
+    def test_holding_invariant_stays_quiet(self):
+        config = ExecutionConfig(
+            monitors=(
+                monitor_factory(
+                    InvariantMonitor,
+                    "counter in range",
+                    lambda ex: 0 <= ex.world.find("n").value <= 2,
+                ),
+            )
+        )
+        ex = Execution(counter_program(locked=True), config).run_round_robin()
+        assert not ex.bugs
+
+    def test_violated_invariant_reports_bug(self):
+        config = ExecutionConfig(
+            monitors=(
+                monitor_factory(
+                    InvariantMonitor,
+                    "counter never reaches 2",
+                    lambda ex: ex.world.find("n").value < 2,
+                ),
+            )
+        )
+        ex = Execution(counter_program(locked=True), config).run_round_robin()
+        assert ex.failed
+        assert ex.bugs[0].kind is BugKind.INVARIANT
+        assert "counter never reaches 2" in ex.bugs[0].message
+
+    def test_invariant_bug_found_by_search_with_bound(self):
+        config = ExecutionConfig(
+            monitors=(
+                monitor_factory(
+                    InvariantMonitor,
+                    "no lost update",
+                    # Violated only in the preempted interleaving where
+                    # both threads read 0: final value 1.
+                    lambda ex: not (
+                        ex.completed_threads() == 2 and ex.world.find("n").value == 1
+                    )
+                    if hasattr(ex, "completed_threads")
+                    else True,
+                ),
+            )
+        )
+        # The lambda above degrades to True (Execution has no
+        # completed_threads); the real check is done with
+        # FinalStateMonitor below.  Here we only verify monitors plug
+        # into the checker without interfering.
+        result = ChessChecker(counter_program(locked=False), config).check(max_bound=1)
+        assert result.executions > 0
+
+
+class TestFinalStateMonitor:
+    def final_config(self):
+        return ExecutionConfig(
+            monitors=(
+                monitor_factory(
+                    FinalStateMonitor,
+                    "no lost update",
+                    lambda ex: ex.world.find("n").value == 2,
+                ),
+            )
+        )
+
+    def test_postcondition_violation_needs_one_preemption(self):
+        checker = ChessChecker(counter_program(locked=False), self.final_config())
+        bug = checker.find_bug(max_bound=2)
+        assert bug is not None
+        assert bug.kind is BugKind.INVARIANT
+        assert bug.preemptions == 1
+
+    def test_locked_version_passes_postcondition(self):
+        checker = ChessChecker(counter_program(locked=True), self.final_config())
+        assert checker.find_bug(max_bound=2) is None
+
+
+class TestTraceCollector:
+    def test_collects_every_step(self):
+        config = ExecutionConfig(monitors=(monitor_factory(TraceCollector),))
+        ex = Execution(counter_program(locked=True), config).run_round_robin()
+        collector = ex.monitors[0]
+        assert len(collector.records) == len(ex.step_records)
+        assert [r.index for r in collector.records] == list(
+            range(len(ex.step_records))
+        )

@@ -1,0 +1,80 @@
+"""The classic lock-free corpus: Treiber stack, ticket lock, SPSC ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BugKind, ChessChecker, Execution, SearchLimits
+from repro.programs.classic import spsc_ring, ticket_lock, treiber_stack
+
+
+class TestTreiberStack:
+    def test_sequential_push_pop_conserves(self):
+        ex = Execution(treiber_stack(pushers=2, values_each=2)).run_round_robin()
+        assert not ex.failed, ex.bugs
+
+    def test_correct_version_certified_bound_one(self):
+        result = ChessChecker(treiber_stack()).check(
+            max_bound=1, limits=SearchLimits(max_seconds=120)
+        )
+        assert not result.found_bug
+
+    def test_publication_bug_is_a_race(self):
+        bug = ChessChecker(treiber_stack(broken=True)).find_bug(max_bound=1)
+        assert bug is not None
+        assert bug.kind is BugKind.DATA_RACE
+        assert "next" in bug.message
+
+    def test_refs_in_atomics_keep_fingerprints_deterministic(self):
+        """Node references live inside the head atomic; replaying a
+        schedule must still reproduce identical fingerprints."""
+        import random
+
+        program = treiber_stack()
+        ex = Execution(program)
+        rng = random.Random(11)
+        while not ex.finished:
+            enabled = ex.enabled_threads()
+            ex.execute(enabled[rng.randrange(len(enabled))])
+        replay = Execution.replay(program, ex.schedule)
+        assert replay.fingerprint() == ex.fingerprint()
+
+
+class TestTicketLock:
+    def test_round_robin_excludes(self):
+        ex = Execution(ticket_lock(threads=3)).run_round_robin()
+        assert not ex.failed
+
+    def test_correct_version_certified_bound_one(self):
+        result = ChessChecker(ticket_lock()).check(
+            max_bound=1, limits=SearchLimits(max_seconds=120)
+        )
+        assert not result.found_bug
+
+    def test_no_ticket_fast_path_breaks_exclusion(self):
+        bug = ChessChecker(ticket_lock(broken=True)).find_bug(max_bound=2)
+        assert bug is not None
+        assert bug.preemptions == 1
+        assert "ticket lock" in bug.message
+
+
+class TestSpscRing:
+    def test_round_robin_transfers_everything(self):
+        ex = Execution(spsc_ring(capacity=2, items=3)).run_round_robin()
+        assert not ex.failed
+
+    def test_correct_version_certified_bound_one(self):
+        result = ChessChecker(spsc_ring()).check(
+            max_bound=1, limits=SearchLimits(max_seconds=120)
+        )
+        assert not result.found_bug
+
+    def test_index_first_publication_races(self):
+        bug = ChessChecker(spsc_ring(broken=True)).find_bug(max_bound=1)
+        assert bug is not None
+        assert bug.kind in (BugKind.DATA_RACE, BugKind.ASSERTION)
+
+    @pytest.mark.parametrize("capacity,items", [(1, 2), (2, 2), (3, 4)])
+    def test_capacity_variations_stay_correct(self, capacity, items):
+        ex = Execution(spsc_ring(capacity=capacity, items=items)).run_round_robin()
+        assert not ex.failed

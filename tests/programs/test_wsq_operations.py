@@ -1,0 +1,110 @@
+"""Work-stealing queue operations, exercised deterministically.
+
+Sequential (single-thread) drivers pin down the functional semantics
+of push/pop/steal before the concurrent tests let the scheduler loose.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker, Execution, Program, World
+from repro.programs.workstealqueue import EMPTY, WorkStealQueue, work_steal_queue
+
+
+def run_ops(script):
+    """Run queue operations on a single thread; return their results."""
+    results = []
+
+    def setup(w: World):
+        queue = WorkStealQueue(w, size=4)
+
+        def driver():
+            for op, *args in script:
+                if op == "push":
+                    yield from queue.push(args[0])
+                    results.append(("push", args[0]))
+                elif op == "pop":
+                    item = yield from queue.pop()
+                    results.append(("pop", item))
+                else:
+                    item = yield from queue.steal()
+                    results.append(("steal", item))
+
+        return {"driver": driver}
+
+    ex = Execution(Program("wsq-ops", setup)).run_round_robin()
+    assert not ex.failed, ex.bugs
+    return results
+
+
+class TestSequentialSemantics:
+    def test_lifo_pop(self):
+        results = run_ops([("push", 1), ("push", 2), ("pop",), ("pop",)])
+        assert [r for r in results if r[0] == "pop"] == [("pop", 2), ("pop", 1)]
+
+    def test_fifo_steal(self):
+        results = run_ops([("push", 1), ("push", 2), ("steal",), ("steal",)])
+        assert [r for r in results if r[0] == "steal"] == [
+            ("steal", 1),
+            ("steal", 2),
+        ]
+
+    def test_pop_empty(self):
+        assert run_ops([("pop",)]) == [("pop", EMPTY)]
+
+    def test_steal_empty(self):
+        assert run_ops([("steal",)]) == [("steal", EMPTY)]
+
+    def test_mixed_ends(self):
+        results = run_ops(
+            [("push", 1), ("push", 2), ("push", 3), ("steal",), ("pop",), ("steal",)]
+        )
+        taken = [r[1] for r in results if r[0] in ("steal", "pop")]
+        assert taken == [1, 3, 2]
+
+    def test_wraparound_reuses_slots(self):
+        script = []
+        for round_ in range(3):
+            script += [("push", round_ * 2 + 1), ("push", round_ * 2 + 2)]
+            script += [("pop",), ("pop",)]
+        results = run_ops(script)
+        popped = [r[1] for r in results if r[0] == "pop"]
+        assert sorted(popped) == [1, 2, 3, 4, 5, 6]
+
+    def test_overflow_asserts(self):
+        def setup(w: World):
+            queue = WorkStealQueue(w, size=2)
+
+            def driver():
+                for i in range(3):
+                    yield from queue.push(i)
+
+            return {"driver": driver}
+
+        ex = Execution(Program("overflow", setup)).run_round_robin()
+        assert ex.failed
+        assert "full bounded buffer" in ex.bugs[0].message
+
+
+class TestHarnessConservation:
+    def test_round_robin_is_conserving(self):
+        ex = Execution(work_steal_queue()).run_round_robin()
+        assert not ex.failed
+
+    @pytest.mark.parametrize("steals", [0, 1, 3])
+    def test_steal_count_variations(self, steals):
+        program = work_steal_queue(steals=steals)
+        bug = ChessChecker(program).find_bug(max_bound=1)
+        assert bug is None
+
+    def test_script_validation(self):
+        with pytest.raises(ValueError):
+            work_steal_queue(script=("push", "flush"))
+
+    def test_single_item_conflict_script(self):
+        # One item, one pop, one steal: the pure conflict case the THE
+        # protocol's lock path arbitrates.
+        program = work_steal_queue(script=("push", "pop"), steals=1)
+        result = ChessChecker(program).check(max_bound=2)
+        assert not result.found_bug

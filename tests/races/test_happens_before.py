@@ -1,0 +1,130 @@
+"""The happens-before tracker: clock propagation and race checks."""
+
+from __future__ import annotations
+
+from repro.core.thread import ThreadId
+from repro.core.variables import AtomicVar, SharedVar
+from repro.core.world import World
+from repro.races.happens_before import HBTracker
+
+T0 = ThreadId((0,), "t0")
+T1 = ThreadId((1,), "t1")
+
+
+def make_objects():
+    world = World()
+    lock = AtomicVar(world, "lock")
+    data = SharedVar(world, "data")
+    return world, lock, data
+
+
+class TestSyncOrdering:
+    def test_sync_accesses_totally_ordered(self):
+        _, lock, _ = make_objects()
+        tracker = HBTracker()
+        c0 = tracker.sync_access(T0, [lock])
+        c1 = tracker.sync_access(T1, [lock])
+        assert c0.leq(c1)
+        assert not c1.leq(c0)
+
+    def test_distinct_sync_vars_do_not_order(self):
+        world = World()
+        a = AtomicVar(world, "a")
+        b = AtomicVar(world, "b")
+        tracker = HBTracker()
+        c0 = tracker.sync_access(T0, [a])
+        c1 = tracker.sync_access(T1, [b])
+        assert not c0.leq(c1) and not c1.leq(c0)
+
+    def test_program_order_preserved(self):
+        _, lock, _ = make_objects()
+        tracker = HBTracker()
+        first = tracker.sync_access(T0, [lock])
+        second = tracker.sync_access(T0, [lock])
+        assert first.leq(second) and not second.leq(first)
+
+    def test_multi_object_access_merges_both(self):
+        world = World()
+        cv = AtomicVar(world, "cv")
+        mtx = AtomicVar(world, "mtx")
+        tracker = HBTracker()
+        c0 = tracker.sync_access(T0, [cv, mtx])
+        via_cv = tracker.sync_access(T1, [cv])
+        assert c0.leq(via_cv)
+
+
+class TestRaceChecks:
+    def test_ordered_write_read_is_race_free(self):
+        _, lock, data = make_objects()
+        tracker = HBTracker()
+        tracker.sync_access(T0, [lock])  # acquire
+        _, races = tracker.data_access(T0, data, True)
+        assert not races
+        tracker.sync_access(T0, [lock])  # release publishes the write
+        tracker.sync_access(T1, [lock])  # acquire absorbs it
+        _, races = tracker.data_access(T1, data, False)
+        assert not races
+
+    def test_unordered_write_write_races(self):
+        _, _, data = make_objects()
+        tracker = HBTracker()
+        tracker.data_access(T0, data, True)
+        _, races = tracker.data_access(T1, data, True)
+        assert len(races) == 1
+        race = races[0]
+        assert race.variable == "data"
+        assert race.first_was_write and race.second_was_write
+
+    def test_unordered_write_read_races(self):
+        _, _, data = make_objects()
+        tracker = HBTracker()
+        tracker.data_access(T0, data, True)
+        _, races = tracker.data_access(T1, data, False)
+        assert races and not races[0].second_was_write
+
+    def test_unordered_read_write_races(self):
+        _, _, data = make_objects()
+        tracker = HBTracker()
+        tracker.data_access(T0, data, False)
+        _, races = tracker.data_access(T1, data, True)
+        assert races
+
+    def test_read_read_no_race_by_default(self):
+        _, _, data = make_objects()
+        tracker = HBTracker()
+        tracker.data_access(T0, data, False)
+        _, races = tracker.data_access(T1, data, False)
+        assert not races
+
+    def test_read_read_races_in_strict_mode(self):
+        _, _, data = make_objects()
+        tracker = HBTracker(strict=True)
+        tracker.data_access(T0, data, False)
+        _, races = tracker.data_access(T1, data, False)
+        assert races
+
+    def test_same_thread_never_races(self):
+        _, _, data = make_objects()
+        tracker = HBTracker()
+        tracker.data_access(T0, data, True)
+        _, races = tracker.data_access(T0, data, True)
+        assert not races
+
+    def test_write_races_with_multiple_unordered_readers(self):
+        world = World()
+        data = SharedVar(world, "data")
+        t2 = ThreadId((2,), "t2")
+        tracker = HBTracker()
+        tracker.data_access(T0, data, False)
+        tracker.data_access(T1, data, False)
+        _, races = tracker.data_access(t2, data, True)
+        assert len(races) == 2
+
+    def test_race_info_describes_accesses(self):
+        _, _, data = make_objects()
+        tracker = HBTracker()
+        tracker.data_access(T0, data, True)
+        _, races = tracker.data_access(T1, data, False)
+        text = races[0].describe()
+        assert "data race on data" in text
+        assert "write by t0" in text and "read by t1" in text

@@ -1,0 +1,72 @@
+"""Vector clock algebra."""
+
+from __future__ import annotations
+
+from repro.core.thread import ThreadId
+from repro.races.vectorclock import VectorClock
+
+T0 = ThreadId((0,), "t0")
+T1 = ThreadId((1,), "t1")
+T2 = ThreadId((2,), "t2")
+
+
+class TestBasics:
+    def test_empty_clock_is_zero_everywhere(self):
+        vc = VectorClock.empty()
+        assert vc.get(T0) == 0 and vc.get(T1) == 0
+        assert len(vc) == 0
+
+    def test_tick_increments_one_component(self):
+        vc = VectorClock.empty().tick(T0).tick(T0).tick(T1)
+        assert vc.get(T0) == 2
+        assert vc.get(T1) == 1
+        assert vc.get(T2) == 0
+
+    def test_tick_does_not_mutate(self):
+        base = VectorClock.empty().tick(T0)
+        base.tick(T0)
+        assert base.get(T0) == 1
+
+    def test_empty_singleton_reused(self):
+        assert VectorClock.empty() is VectorClock.empty()
+
+
+class TestJoin:
+    def test_join_takes_componentwise_max(self):
+        a = VectorClock({T0: 3, T1: 1})
+        b = VectorClock({T1: 5, T2: 2})
+        j = a.join(b)
+        assert (j.get(T0), j.get(T1), j.get(T2)) == (3, 5, 2)
+
+    def test_join_with_empty_is_identity(self):
+        a = VectorClock({T0: 3})
+        assert a.join(VectorClock.empty()) == a
+        assert VectorClock.empty().join(a) == a
+
+    def test_join_is_commutative_and_idempotent(self):
+        a = VectorClock({T0: 3, T1: 1})
+        b = VectorClock({T1: 5})
+        assert a.join(b) == b.join(a)
+        assert a.join(a) == a
+
+
+class TestOrdering:
+    def test_covers_epoch(self):
+        vc = VectorClock({T0: 3})
+        assert vc.covers(T0, 3)
+        assert vc.covers(T0, 2)
+        assert not vc.covers(T0, 4)
+        assert vc.covers(T1, 0)
+
+    def test_leq_partial_order(self):
+        small = VectorClock({T0: 1})
+        big = VectorClock({T0: 2, T1: 1})
+        incomparable = VectorClock({T2: 1})
+        assert small.leq(big)
+        assert not big.leq(small)
+        assert not small.leq(incomparable)
+        assert not incomparable.leq(small)
+
+    def test_equality_ignores_zero_entries(self):
+        assert VectorClock({T0: 1, T1: 0}) == VectorClock({T0: 1})
+        assert hash(VectorClock({T0: 1, T1: 0})) == hash(VectorClock({T0: 1}))

@@ -1,0 +1,72 @@
+"""Depth-first search and depth bounding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker, DepthFirstSearch, SearchLimits
+from repro.programs import toy
+
+
+class TestUnboundedDFS:
+    def test_exhausts_small_space(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        result = DepthFirstSearch().run(checker.space())
+        assert result.completed
+        assert result.executions > 0
+
+    def test_finds_bugs_eventually(self):
+        checker = ChessChecker(toy.atomic_counter_assert())
+        result = DepthFirstSearch().run(checker.space())
+        assert result.found_bug
+
+    def test_name(self):
+        assert DepthFirstSearch().name == "dfs"
+        assert DepthFirstSearch(depth_bound=40).name == "db:40"
+
+    def test_respects_execution_budget(self):
+        checker = ChessChecker(toy.chain_program(3, 2))
+        result = DepthFirstSearch().run(
+            checker.space(), limits=SearchLimits(max_executions=7)
+        )
+        assert result.executions == 7
+        assert not result.completed
+
+
+class TestDepthBounding:
+    def test_shallow_bound_prunes(self):
+        checker = ChessChecker(toy.chain_program(2, 3))
+        result = DepthFirstSearch(depth_bound=3).run(checker.space())
+        assert result.completed
+        assert result.extras["pruned_executions"] > 0
+
+    def test_deep_bound_prunes_nothing(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        unbounded = DepthFirstSearch().run(checker.space())
+        bounded = DepthFirstSearch(depth_bound=1000).run(checker.space())
+        assert bounded.extras["pruned_executions"] == 0
+        assert bounded.executions == unbounded.executions
+
+    def test_pruned_paths_count_as_executions(self):
+        checker = ChessChecker(toy.chain_program(2, 3))
+        result = DepthFirstSearch(depth_bound=2).run(checker.space())
+        assert result.executions == result.extras["pruned_executions"]
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DepthFirstSearch(depth_bound=0)
+
+    def test_shallow_bound_misses_deep_states(self):
+        checker = ChessChecker(toy.chain_program(2, 3))
+        shallow = DepthFirstSearch(depth_bound=3).run(checker.space())
+        full = DepthFirstSearch().run(checker.space())
+        assert shallow.distinct_states < full.distinct_states
+
+
+class TestDFSStateCaching:
+    def test_caching_reduces_transitions(self):
+        checker = ChessChecker(toy.chain_program(3, 2))
+        plain = DepthFirstSearch().run(checker.space())
+        cached = DepthFirstSearch(state_caching=True).run(checker.space())
+        assert cached.transitions < plain.transitions
+        assert set(cached.context.states) == set(plain.context.states)

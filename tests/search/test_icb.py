@@ -1,0 +1,145 @@
+"""Iterative context bounding: Algorithm 1's guarantees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ChessChecker,
+    DepthFirstSearch,
+    IterativeContextBounding,
+    Program,
+    SearchLimits,
+)
+from repro.programs import toy
+from repro.theory import brute_force_minimal_bug, count_by_preemptions
+
+
+class TestBoundOrdering:
+    """ICB explores executions in increasing preemption order."""
+
+    def test_first_bug_is_preemption_minimal(self):
+        for program in [
+            toy.atomic_counter_assert(),
+            toy.lock_order_deadlock(),
+            toy.use_after_free_toy(),
+        ]:
+            bug = ChessChecker(program).find_bug(max_bound=3)
+            truth = brute_force_minimal_bug(program)
+            assert bug is not None and bug.preemptions == truth, program.name
+
+    def test_states_tagged_with_minimal_bound(self):
+        program = toy.chain_program(2, 2)
+        result = ChessChecker(program).check()
+        # With ICB, a state's first visit happens at its minimal bound,
+        # so no later visit can lower the tag.
+        histogram = result.search.context.states_by_bound()
+        assert sum(histogram.values()) == result.distinct_states
+        assert min(histogram) == 0
+
+    def test_completed_bound_certificate(self):
+        result = ChessChecker(toy.locked_counter()).check(max_bound=2)
+        assert result.certified_bound == 2
+        assert not result.found_bug
+
+    def test_zero_bound_reaches_terminal_states(self):
+        """Even c=0 explores complete executions (unbounded depth)."""
+        result = ChessChecker(toy.chain_program(2, 3)).check(max_bound=0)
+        assert result.executions >= 1
+        assert result.search.completed or result.executions > 0
+
+    def test_bound_zero_counts_round_robin_executions(self):
+        # chain(2, k): at bound 0 the only choices happen when a thread
+        # finishes; with 2 threads that yields exactly 2 executions.
+        result = ChessChecker(toy.chain_program(2, 2)).check(max_bound=0)
+        assert result.executions == 2
+
+
+class TestCompleteness:
+    """ICB without bound explores exactly the executions DFS does."""
+
+    @pytest.mark.parametrize(
+        "program",
+        [toy.chain_program(2, 2), toy.chain_program(3, 1), toy.producer_consumer(2, 2)],
+        ids=lambda p: p.name,
+    )
+    def test_same_execution_count_as_dfs(self, program):
+        checker = ChessChecker(program)
+        icb = checker.check()
+        dfs = DepthFirstSearch().run(checker.space())
+        assert icb.search.completed and dfs.completed
+        assert icb.executions == dfs.executions
+
+    @pytest.mark.parametrize(
+        "program",
+        [toy.chain_program(2, 2), toy.chain_program(3, 1)],
+        ids=lambda p: p.name,
+    )
+    def test_same_states_as_dfs(self, program):
+        checker = ChessChecker(program)
+        icb = checker.check()
+        dfs = DepthFirstSearch().run(checker.space())
+        assert set(icb.search.context.states) == set(dfs.context.states)
+
+    def test_matches_exhaustive_enumeration(self):
+        program = toy.chain_program(2, 2)
+        histogram = count_by_preemptions(program)
+        result = ChessChecker(program).check()
+        assert result.executions == sum(histogram.values())
+
+    def test_per_bound_execution_counts_match_enumeration(self):
+        program = toy.chain_program(2, 2)
+        histogram = count_by_preemptions(program)
+        for bound in sorted(histogram):
+            expected = sum(v for c, v in histogram.items() if c <= bound)
+            result = ChessChecker(program).check(max_bound=bound)
+            assert result.executions == expected, f"bound {bound}"
+
+
+class TestBudgets:
+    def test_execution_budget_stops_search(self):
+        result = ChessChecker(toy.chain_program(3, 2)).check(
+            limits=SearchLimits(max_executions=5)
+        )
+        assert not result.search.completed
+        assert result.executions == 5
+
+    def test_stop_on_first_bug(self):
+        result = ChessChecker(toy.atomic_counter_assert()).check(
+            limits=SearchLimits(stop_on_first_bug=True)
+        )
+        assert result.found_bug
+        assert not result.search.completed
+
+    def test_max_bound_zero_valid(self):
+        strategy = IterativeContextBounding(max_bound=0)
+        assert strategy.max_bound == 0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            IterativeContextBounding(max_bound=-1)
+
+
+class TestStateCaching:
+    def test_caching_preserves_state_coverage(self):
+        program = toy.chain_program(2, 2)
+        checker = ChessChecker(program)
+        plain = checker.check()
+        cached = checker.check(state_caching=True)
+        assert set(cached.search.context.states) == set(plain.search.context.states)
+
+    def test_caching_reduces_transitions(self):
+        program = toy.chain_program(3, 2)
+        checker = ChessChecker(program)
+        plain = checker.check()
+        cached = checker.check(state_caching=True)
+        assert cached.transitions < plain.transitions
+        assert cached.search.extras["cache_hits"] > 0
+
+    def test_caching_still_finds_bug(self):
+        program = toy.atomic_counter_assert()
+        result = ChessChecker(program).check(
+            state_caching=True, limits=SearchLimits(stop_on_first_bug=True)
+        )
+        assert result.found_bug
+        assert result.search.first_bug.preemptions == 1

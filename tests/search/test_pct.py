@@ -1,0 +1,59 @@
+"""The PCT randomized-priority strategy (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker, PCTScheduler, SearchLimits
+from repro.programs import toy
+
+
+class TestPCT:
+    def test_reproducible_given_seed(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        a = PCTScheduler(depth=2, executions=20, seed=5).run(checker.space())
+        b = PCTScheduler(depth=2, executions=20, seed=5).run(checker.space())
+        assert a.history == b.history
+
+    def test_depth_one_schedules_without_change_points(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        result = PCTScheduler(depth=1, executions=10, seed=0).run(checker.space())
+        assert result.executions == 10
+        # With fixed priorities, each run is a priority-ordered
+        # round-robin: no preemptions at all.
+        assert result.context.max_preemptions == 0
+
+    def test_depth_two_finds_single_preemption_bug(self):
+        checker = ChessChecker(toy.atomic_counter_assert())
+        result = PCTScheduler(depth=2, executions=300, max_steps=40, seed=1).run(
+            checker.space(), limits=SearchLimits(stop_on_first_bug=True)
+        )
+        assert result.found_bug
+        assert result.first_bug.preemptions >= 1
+
+    def test_witnesses_have_few_preemptions(self):
+        """PCT's point: its schedules carry at most depth-1 demotions,
+        so witnesses stay simple, unlike uniform random's."""
+        checker = ChessChecker(toy.atomic_counter_assert())
+        result = PCTScheduler(depth=2, executions=300, max_steps=40, seed=1).run(
+            checker.space(), limits=SearchLimits(stop_on_first_bug=True)
+        )
+        assert result.found_bug
+        # One demotion can cause a couple of observable switches, but
+        # nothing like uniform random's tens of preemptions.
+        assert result.first_bug.preemptions <= 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PCTScheduler(depth=0)
+        with pytest.raises(ValueError):
+            PCTScheduler(executions=0)
+        with pytest.raises(ValueError):
+            PCTScheduler(max_steps=0)
+
+    def test_budget_respected(self):
+        checker = ChessChecker(toy.chain_program(3, 2))
+        result = PCTScheduler(depth=3, executions=10_000, seed=0).run(
+            checker.space(), limits=SearchLimits(max_executions=25)
+        )
+        assert result.executions == 25

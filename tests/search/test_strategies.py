@@ -1,0 +1,141 @@
+"""Iterative deepening, random walk, heuristic search, contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ChessChecker,
+    DepthFirstSearch,
+    EnabledThreadsHeuristic,
+    IterativeDeepening,
+    RandomWalk,
+    SearchContext,
+    SearchLimits,
+)
+from repro.programs import toy
+
+
+class TestIterativeDeepening:
+    def test_terminates_when_bound_suffices(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        result = IterativeDeepening(initial_bound=2, step=2).run(checker.space())
+        assert result.completed
+        assert result.extras["completed_depth"] is not None
+        assert result.extras["bounds_run"][0] == 2
+
+    def test_covers_same_states_as_dfs(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        idfs = IterativeDeepening(initial_bound=2, step=2).run(checker.space())
+        dfs = DepthFirstSearch().run(checker.space())
+        assert set(dfs.context.states) <= set(idfs.context.states)
+
+    def test_max_bound_stops_deepening(self):
+        checker = ChessChecker(toy.chain_program(2, 4))
+        result = IterativeDeepening(initial_bound=2, step=2, max_bound=4).run(
+            checker.space()
+        )
+        assert result.extras["bounds_run"] == [2, 4]
+        assert result.extras["completed_depth"] is None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            IterativeDeepening(initial_bound=0)
+        with pytest.raises(ValueError):
+            IterativeDeepening(step=0)
+
+    def test_name_encodes_parameters(self):
+        assert IterativeDeepening(initial_bound=100, step=50).name == "idfs:100+50"
+
+
+class TestRandomWalk:
+    def test_reproducible_given_seed(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        a = RandomWalk(executions=20, seed=42).run(checker.space())
+        b = RandomWalk(executions=20, seed=42).run(checker.space())
+        assert a.history == b.history
+
+    def test_different_seeds_differ(self):
+        checker = ChessChecker(toy.chain_program(3, 2))
+        a = RandomWalk(executions=30, seed=1).run(checker.space())
+        b = RandomWalk(executions=30, seed=2).run(checker.space())
+        # Not guaranteed in principle, overwhelmingly likely in practice.
+        assert a.history != b.history or a.context.states != b.context.states
+
+    def test_completes_requested_executions(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        result = RandomWalk(executions=15, seed=0).run(checker.space())
+        assert result.executions == 15
+
+    def test_can_find_shallow_bug(self):
+        checker = ChessChecker(toy.racy_counter())
+        result = RandomWalk(executions=50, seed=3).run(checker.space())
+        assert result.found_bug
+
+    def test_rejects_zero_executions(self):
+        with pytest.raises(ValueError):
+            RandomWalk(executions=0)
+
+
+class TestEnabledThreadsHeuristic:
+    def test_exhausts_small_space(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        best_first = EnabledThreadsHeuristic().run(checker.space())
+        dfs = DepthFirstSearch().run(checker.space())
+        assert best_first.completed
+        assert set(best_first.context.states) == set(dfs.context.states)
+
+    def test_respects_budget(self):
+        checker = ChessChecker(toy.chain_program(3, 2))
+        result = EnabledThreadsHeuristic().run(
+            checker.space(), limits=SearchLimits(max_transitions=100)
+        )
+        assert not result.completed
+        assert result.transitions == 100
+
+
+class TestSearchContext:
+    def test_states_by_bound_histogram_sums(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        result = checker.check()
+        histogram = result.search.context.states_by_bound()
+        assert sum(histogram.values()) == result.distinct_states
+
+    def test_coverage_curve_monotone_to_one(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        curve = checker.check().search.context.coverage_curve()
+        fractions = [f for _, f in curve]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_history_is_monotone(self):
+        checker = ChessChecker(toy.chain_program(2, 3))
+        result = checker.check()
+        history = result.search.history
+        assert all(
+            x1 < x2 and y1 <= y2
+            for (x1, y1), (x2, y2) in zip(history, history[1:])
+        )
+
+    def test_bug_dedup_keeps_minimal_witness(self):
+        checker = ChessChecker(toy.atomic_counter_assert())
+        result = checker.check(max_bound=2)  # sees the bug at 1 and 2
+        lost = [b for b in result.bugs if "lost update" in b.message]
+        assert len(lost) == 1
+        assert lost[0].preemptions == 1
+
+    def test_shared_context_accumulates_across_strategies(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        ctx = SearchContext()
+        DepthFirstSearch(depth_bound=3).run(checker.space(), context=ctx)
+        first = len(ctx.states)
+        DepthFirstSearch().run(checker.space(), context=ctx)
+        assert len(ctx.states) >= first
+
+    def test_table1_maxima_recorded(self):
+        checker = ChessChecker(toy.chain_program(2, 2))
+        result = checker.check()
+        ctx = result.search.context
+        assert ctx.max_steps > 0
+        assert ctx.max_blocking > 0
+        assert ctx.max_preemptions >= 1

@@ -1,0 +1,98 @@
+"""Theorem 1 combinatorics."""
+
+from __future__ import annotations
+
+from math import comb, factorial
+
+import pytest
+
+from repro.theory.bounds import (
+    executions_with_preemptions_upper,
+    growth_table,
+    nonblocking_bound,
+    simplified_bound,
+    total_executions_upper,
+)
+
+
+class TestTotalExecutions:
+    def test_known_small_values(self):
+        # Interleavings of two 2-step threads: C(4,2) = 6.
+        assert total_executions_upper(2, 2) == 6
+        # Three 1-step threads: 3! = 6.
+        assert total_executions_upper(3, 1) == 6
+
+    def test_multinomial_formula(self):
+        for n, k in [(2, 3), (3, 2), (4, 2)]:
+            assert total_executions_upper(n, k) == factorial(n * k) // factorial(k) ** n
+
+    def test_exponential_growth_in_k(self):
+        values = [total_executions_upper(2, k) for k in range(1, 8)]
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        # Ratios themselves grow: super-polynomial.
+        assert all(r2 > r1 for r1, r2 in zip(ratios, ratios[1:]))
+
+    def test_zero_steps(self):
+        assert total_executions_upper(3, 0) == 1
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            total_executions_upper(0, 1)
+        with pytest.raises(ValueError):
+            total_executions_upper(1, -1)
+
+
+class TestTheorem1:
+    def test_formula(self):
+        for n, k, b, c in [(2, 5, 1, 0), (2, 5, 1, 2), (3, 4, 2, 1)]:
+            expected = comb(n * k, c) * factorial(n * b + c)
+            assert executions_with_preemptions_upper(n, k, b, c) == expected
+
+    def test_zero_preemptions_bound(self):
+        # With c=0: (nb)! arrangements of the blocking contexts.
+        assert executions_with_preemptions_upper(2, 10, 1, 0) == factorial(2)
+
+    def test_polynomial_in_k_for_fixed_c(self):
+        """The point of Theorem 1: for fixed c, growth in k is
+        polynomial of degree c, unlike the unbounded count."""
+        c = 2
+        bounds = [executions_with_preemptions_upper(2, k, 1, c) for k in (10, 20, 40)]
+        # Doubling k multiplies a degree-2 polynomial by at most ~4 (+
+        # lower-order terms); the unbounded count squares and more.
+        assert bounds[1] / bounds[0] < 5
+        assert bounds[2] / bounds[1] < 5
+        unbounded = [total_executions_upper(2, k) for k in (10, 20)]
+        assert unbounded[1] / unbounded[0] > 10_000
+
+    def test_monotone_in_every_argument(self):
+        base = executions_with_preemptions_upper(2, 5, 1, 1)
+        assert executions_with_preemptions_upper(3, 5, 1, 1) > base
+        assert executions_with_preemptions_upper(2, 6, 1, 1) > base
+        assert executions_with_preemptions_upper(2, 5, 2, 1) > base
+        assert executions_with_preemptions_upper(2, 5, 1, 2) > base
+
+    def test_b_cannot_exceed_k(self):
+        with pytest.raises(ValueError):
+            executions_with_preemptions_upper(2, 3, 4, 0)
+
+    def test_negative_c_rejected(self):
+        with pytest.raises(ValueError):
+            executions_with_preemptions_upper(2, 3, 1, -1)
+
+
+class TestSimplifications:
+    def test_simplified_bound_formula(self):
+        assert simplified_bound(2, 5, 1, 2) == (2 * 2 * 5 * 1) ** 2 * factorial(2)
+
+    def test_nonblocking_bound_formula(self):
+        assert nonblocking_bound(2, 5, 2) == (2 * 2 * 5) ** 2 * factorial(2)
+
+    def test_nonblocking_matches_simplified_with_b_one(self):
+        assert nonblocking_bound(3, 7, 2) == simplified_bound(3, 7, 1, 2)
+
+    def test_growth_table_rows(self):
+        rows = growth_table(2, 1, 2, [2, 4])
+        assert len(rows) == 2
+        assert rows[0][0] == 2
+        assert rows[0][1] == executions_with_preemptions_upper(2, 2, 1, 2)
+        assert rows[0][2] == total_executions_upper(2, 2)

@@ -1,0 +1,103 @@
+"""Exhaustive enumeration against ground truth and Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker
+from repro.programs import toy
+from repro.theory import (
+    brute_force_minimal_bug,
+    count_by_preemptions,
+    enumerate_executions,
+    executions_with_preemptions_upper,
+    total_executions_upper,
+)
+
+
+class TestEnumeration:
+    def test_chain_2x1_execution_count(self):
+        """Two 1-step threads: engine steps are START, op, EXIT; the
+        schedules interleave, but the total equals a full DFS count."""
+        program = toy.chain_program(2, 1)
+        executions = list(enumerate_executions(program))
+        result = ChessChecker(program).check()
+        assert len(executions) == result.executions
+
+    def test_every_enumerated_schedule_is_maximal(self):
+        program = toy.chain_program(2, 1)
+        from repro import Execution
+
+        for schedule, _, _ in enumerate_executions(program):
+            replay = Execution.replay(program, schedule)
+            assert replay.finished
+
+    def test_preemption_histogram_is_consistent(self):
+        program = toy.chain_program(2, 2)
+        histogram = count_by_preemptions(program)
+        assert min(histogram) == 0
+        assert all(v > 0 for v in histogram.values())
+
+    def test_limit_stops_enumeration(self):
+        program = toy.chain_program(3, 2)
+        assert len(list(enumerate_executions(program, limit=10))) == 10
+
+    def test_terminal_initial_state(self):
+        from repro import Program
+
+        def setup(w):
+            flag = w.atomic("f", 0)
+
+            def t():
+                yield flag.write(1)
+
+            return {"t": t}
+
+        # One thread: exactly one maximal execution, zero preemptions.
+        histogram = count_by_preemptions(Program("single", setup))
+        assert histogram == {0: 1}
+
+
+class TestTheorem1AgainstReality:
+    @pytest.mark.parametrize("n,steps", [(2, 1), (2, 2), (3, 1)])
+    def test_bound_dominates_enumeration(self, n, steps):
+        program = toy.chain_program(n, steps)
+        histogram = count_by_preemptions(program)
+        # Measure the real K and B from the engine.
+        result = ChessChecker(program).check()
+        ctx = result.search.context
+        k = ctx.max_steps  # total steps across threads in one execution
+        per_thread_k = (k + n - 1) // n
+        per_thread_b = 2  # START and EXIT end contexts
+        for c, count in histogram.items():
+            bound = executions_with_preemptions_upper(n, per_thread_k, per_thread_b, c)
+            assert count <= bound, (c, count, bound)
+
+    def test_total_bound_dominates_enumeration(self):
+        program = toy.chain_program(2, 2)
+        total = sum(count_by_preemptions(program).values())
+        # Each thread: START + 2 ops + EXIT = 4 steps.
+        assert total <= total_executions_upper(2, 4)
+
+    def test_polynomial_growth_observed(self):
+        """Executions at bound 0 grow linearly-ish in k, while the
+        total grows explosively: the empirical shape of Theorem 1."""
+        zero_bound = []
+        totals = []
+        for steps in (1, 2, 3):
+            histogram = count_by_preemptions(toy.chain_program(2, steps))
+            zero_bound.append(histogram[0])
+            totals.append(sum(histogram.values()))
+        assert zero_bound == [2, 2, 2]  # round-robin choices only
+        assert totals[2] / totals[1] > totals[1] / totals[0] > 1
+
+
+class TestBruteForceMinimalBug:
+    def test_agrees_with_icb(self):
+        for program in [toy.atomic_counter_assert(), toy.use_after_free_toy()]:
+            truth = brute_force_minimal_bug(program)
+            icb = ChessChecker(program).find_bug()
+            assert truth == icb.preemptions
+
+    def test_clean_program_returns_none(self):
+        assert brute_force_minimal_bug(toy.chain_program(2, 1)) is None

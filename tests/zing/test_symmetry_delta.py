@@ -1,0 +1,129 @@
+"""Heap-symmetry canonicalization and delta-compressed stacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramDefinitionError
+from repro.zing.delta import DeltaStack, flatten
+from repro.zing.symmetry import Ref, canonicalize
+
+
+class TestCanonicalize:
+    def test_plain_values_unchanged(self):
+        assert canonicalize(5) == 5
+        assert canonicalize("x") == "x"
+        assert canonicalize(None) is None
+
+    def test_dicts_key_sorted(self):
+        a = canonicalize({"b": 1, "a": 2})
+        b = canonicalize({"a": 2, "b": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sequences_frozen(self):
+        assert canonicalize([1, 2]) == canonicalize((1, 2))
+
+    def test_sets_order_independent(self):
+        assert canonicalize({3, 1, 2}) == canonicalize({2, 3, 1})
+
+    def test_ref_renaming_erases_identity(self):
+        # Same structure, different concrete ids: identical canon form.
+        a = canonicalize({"x": Ref(10), "y": Ref(20), "z": Ref(10)})
+        b = canonicalize({"x": Ref(7), "y": Ref(3), "z": Ref(7)})
+        assert a == b
+
+    def test_ref_aliasing_preserved(self):
+        aliased = canonicalize({"x": Ref(1), "y": Ref(1)})
+        distinct = canonicalize({"x": Ref(1), "y": Ref(2)})
+        assert aliased != distinct
+
+    def test_ref_keys_rejected(self):
+        with pytest.raises(ProgramDefinitionError):
+            canonicalize({Ref(1): "x"})
+
+    def test_unfreezable_rejected(self):
+        with pytest.raises(ProgramDefinitionError):
+            canonicalize(object())
+
+    def test_nested_structures(self):
+        state = {"table": [{"id": Ref(5), "vals": {1, 2}}], "n": 3}
+        same = {"table": [{"id": Ref(9), "vals": {2, 1}}], "n": 3}
+        assert canonicalize(state) == canonicalize(same)
+
+
+class TestFlatten:
+    def test_leaves_keyed_by_path(self):
+        flat = flatten({"a": {"b": 1}, "c": [2, 3]})
+        assert flat[("a", "b")] == 1
+        assert flat[("c", 0)] == 2
+        assert flat[("c", 1)] == 3
+        assert flat[("c", "<len>")] == 2
+
+    def test_empty_dict_marked(self):
+        flat = flatten({"a": {}})
+        assert flat[("a", "<empty-dict>")] is True
+
+
+class TestDeltaStack:
+    def states(self):
+        return [
+            flatten({"x": 0, "y": 0, "pc": [0, 0]}),
+            flatten({"x": 1, "y": 0, "pc": [1, 0]}),
+            flatten({"x": 1, "y": 2, "pc": [1, 1]}),
+            flatten({"x": 1, "y": 2, "pc": [2, 1]}),
+        ]
+
+    def test_push_pop_roundtrip(self):
+        stack = DeltaStack()
+        states = self.states()
+        for state in states:
+            stack.push(state)
+        for state in reversed(states):
+            assert stack.pop() == state
+        assert len(stack) == 0
+
+    def test_peek_returns_top_without_popping(self):
+        stack = DeltaStack()
+        states = self.states()
+        for state in states:
+            stack.push(state)
+        assert stack.peek() == states[-1]
+        assert len(stack) == len(states)
+
+    def test_reconstruct_any_index(self):
+        stack = DeltaStack()
+        states = self.states()
+        for state in states:
+            stack.push(state)
+        for i, state in enumerate(states):
+            assert stack.reconstruct(i) == state
+
+    def test_key_removal_and_reappearance(self):
+        stack = DeltaStack()
+        a = {("k",): 1, ("gone",): 9}
+        b = {("k",): 1}
+        c = {("k",): 2, ("gone",): 7}
+        for state in (a, b, c):
+            stack.push(dict(state))
+        assert stack.pop() == c
+        assert stack.pop() == b
+        assert stack.pop() == a
+
+    def test_compression_beats_naive_on_small_diffs(self):
+        stack = DeltaStack()
+        base = {("var", i): 0 for i in range(50)}
+        stack.push(dict(base))
+        for step in range(20):
+            base[("var", step % 50)] = step
+            stack.push(dict(base))
+        assert stack.compression_ratio < 0.2
+
+    def test_empty_stack_errors(self):
+        stack = DeltaStack()
+        with pytest.raises(IndexError):
+            stack.pop()
+        with pytest.raises(IndexError):
+            stack.peek()
+        with pytest.raises(IndexError):
+            stack.reconstruct(0)

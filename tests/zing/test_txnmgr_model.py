@@ -1,0 +1,95 @@
+"""Transaction-manager model internals: tick gating, mark/flush."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs.transaction_manager import TransactionManager, transaction_manager
+from repro.zing import ZingStateSpace
+
+
+def drive(space, state, tid, steps):
+    for _ in range(steps):
+        state = space.execute(state, tid)
+    return state
+
+
+class TestTimerGating:
+    def test_timer_blocked_before_tick1(self):
+        space = ZingStateSpace(transaction_manager())
+        state = space.initial_state()
+        ops, timer = space.tids
+        assert space.enabled(state) == (ops,)
+
+    def test_timer_wakes_after_tick1(self):
+        space = ZingStateSpace(transaction_manager())
+        state = space.initial_state()
+        ops, timer = space.tids
+        # create: acquire, create, release, tick1.
+        state = drive(space, state, ops, 4)
+        assert timer in space.enabled(state)
+
+    def test_flush_pass_blocked_until_tick2(self):
+        space = ZingStateSpace(transaction_manager())
+        state = space.initial_state()
+        ops, timer = space.tids
+        state = drive(space, state, ops, 4)  # through tick1
+        state = drive(space, state, timer, 4)  # wait-tick1 + mark pass
+        # Timer now waits for tick2, which the ops thread has not
+        # produced yet.
+        assert timer not in space.enabled(state)
+
+
+class TestMarkAndFlush:
+    def test_late_mark_never_flushes(self):
+        """A transaction marked in the same period as the flush check
+        is not flushed (mark_tick < ticks fails): the two-period lazy
+        timeout that pins stale-commit at two preemptions."""
+        space = ZingStateSpace(transaction_manager("stale-delete"))
+        state = space.initial_state()
+        ops, timer = space.tids
+        # ops: create (4 instrs), lookup section (3 instrs), tick2.
+        state = drive(space, state, ops, 8)
+        # Timer runs late: mark happens at ticks == 2.
+        state = drive(space, state, timer, 8)
+        # The transaction must still be present: flush skipped it.
+        assert state.globals_raw["table"]["s0"] is not None
+        # And the ops thread can finish its delete without an assert.
+        while not space.is_terminal(state):
+            state = space.execute(state, space.enabled(state)[0])
+        assert not space.bugs(state)
+
+    def test_committed_transactions_never_marked(self):
+        space = ZingStateSpace(transaction_manager())
+        state = space.initial_state()
+        ops, timer = space.tids
+        # Run ops through create + commit + tick2 (4 + 5 + 1 instrs).
+        state = drive(space, state, ops, 10)
+        assert state.globals_raw["table"]["s0"]["state"] == "committed"
+        # Timer passes: mark + flush, neither touches a committed txn.
+        while timer in space.enabled(state):
+            state = space.execute(state, timer)
+        txn = state.globals_raw["table"]["s0"]
+        assert txn is not None and txn["expired"] is False
+
+
+class TestVariantStructure:
+    def test_variant_names(self):
+        assert transaction_manager().name == "txnmgr"
+        assert transaction_manager("stale-commit").name == "txnmgr-stale-commit"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            transaction_manager("nonsense")
+
+    def test_two_threads_as_in_paper(self):
+        assert TransactionManager().thread_labels == ("ops", "timer")
+
+    def test_txn_ids_are_refs(self):
+        from repro.zing.symmetry import Ref
+
+        space = ZingStateSpace(transaction_manager())
+        state = space.initial_state()
+        ops, _ = space.tids
+        state = drive(space, state, ops, 2)  # acquire + create
+        assert isinstance(state.globals_raw["table"]["s0"]["id"], Ref)
