@@ -24,7 +24,7 @@ from repro import (
 from repro.experiments.reporting import render_table
 from repro.programs import toy
 from repro.programs.transaction_manager import transaction_manager
-from repro.zing import ZingChecker, ZingStateSpace
+from repro.zing import ZingChecker
 
 from _common import emit, run_once
 

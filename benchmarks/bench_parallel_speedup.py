@@ -1,0 +1,119 @@
+"""Parallel exploration throughput: executions/sec at 1, 2 and 4 workers.
+
+The stateless search is embarrassingly parallel (every work item is a
+replayable schedule prefix), so executions/sec should scale with
+workers until the hardware runs out of cores.  This benchmark checks
+the ``bluetooth`` and ``workstealqueue`` programs at fixed preemption
+bounds -- a fixed workload, so the wall-clock ratio *is* the
+throughput ratio -- and asserts:
+
+* correctness: every worker count reports identical executions,
+  distinct states and certified bound (the bound barrier at work);
+* speedup: on hardware with at least 4 usable cores, 4 workers reach
+  at least 1.5x the serial executions/sec on ``bluetooth``.  On
+  smaller machines (e.g. a 1-core CI container) the speedup line is
+  reported but not asserted: time-slicing one core cannot speed up a
+  CPU-bound search, and asserting otherwise would only test the
+  scheduler.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import ChessChecker
+from repro.programs.bluetooth import bluetooth
+from repro.programs.workstealqueue import work_steal_queue
+
+from _common import emit, run_once
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: (name, program factory, max_bound) -- bounds chosen so one serial
+#: run takes seconds, enough work to amortize pool startup.
+WORKLOADS = (
+    ("bluetooth", lambda: bluetooth(buggy=True), 3),
+    ("workstealqueue", work_steal_queue, 2),
+)
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure(factory, max_bound: int, workers: int):
+    checker = ChessChecker(factory())
+    start = time.perf_counter()
+    result = checker.check(max_bound=max_bound, workers=workers)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_experiment():
+    rows = []
+    checks = {}
+    for name, factory, max_bound in WORKLOADS:
+        baseline_rate = None
+        for workers in WORKER_COUNTS:
+            result, elapsed = measure(factory, max_bound, workers)
+            rate = result.executions / elapsed if elapsed else float("inf")
+            if baseline_rate is None:
+                baseline_rate = rate
+            rows.append(
+                (
+                    name,
+                    workers,
+                    result.executions,
+                    result.distinct_states,
+                    result.certified_bound,
+                    elapsed,
+                    rate,
+                    rate / baseline_rate,
+                )
+            )
+            checks.setdefault((name, "executions"), set()).add(result.executions)
+            checks.setdefault((name, "states"), set()).add(result.distinct_states)
+            checks.setdefault((name, "bound"), set()).add(result.certified_bound)
+    return rows, checks
+
+
+def render(rows, cores: int) -> str:
+    lines = [
+        "Parallel frontier-sharded ICB: executions/sec by worker count",
+        f"(usable cores: {cores})",
+        "",
+        f"{'program':<16} {'workers':>7} {'execs':>7} {'states':>7} "
+        f"{'bound':>5} {'secs':>8} {'exec/s':>9} {'speedup':>8}",
+    ]
+    for name, workers, execs, states, bound, secs, rate, speedup in rows:
+        lines.append(
+            f"{name:<16} {workers:>7} {execs:>7} {states:>7} "
+            f"{bound:>5} {secs:>8.2f} {rate:>9.0f} {speedup:>7.2f}x"
+        )
+    if cores < 4:
+        lines.append(
+            "\nspeedup not asserted: fewer than 4 usable cores, a CPU-bound "
+            "search cannot beat time-slicing"
+        )
+    return "\n".join(lines)
+
+
+def test_parallel_speedup(benchmark):
+    rows, checks = run_once(benchmark, run_experiment)
+    cores = usable_cores()
+    emit("parallel_speedup", render(rows, cores))
+
+    # Correctness is asserted on every machine: worker counts must
+    # agree on what was explored and certified.
+    for (name, quantity), values in checks.items():
+        assert len(values) == 1, f"{name}: {quantity} varies across worker counts"
+
+    if cores >= 4:
+        bluetooth_rows = [r for r in rows if r[0] == "bluetooth"]
+        by_workers = {r[1]: r[6] for r in bluetooth_rows}
+        speedup4 = by_workers[4] / by_workers[1]
+        assert speedup4 >= 1.5, f"4-worker speedup {speedup4:.2f}x below 1.5x"

@@ -58,6 +58,7 @@ from .core.transition import ProgramStateSpace, StateSpace
 from .core.world import World
 from .errors import BugKind, BugReport, ReproError
 from .monitors.monitor import FinalStateMonitor, InvariantMonitor, Monitor, monitor_factory
+from .parallel import ParallelCoordinator, ParallelSettings, WorkItem
 from .search import (
     DepthFirstSearch,
     EnabledThreadsHeuristic,
@@ -91,6 +92,8 @@ __all__ = [
     "IterativeDeepening",
     "Monitor",
     "PCTScheduler",
+    "ParallelCoordinator",
+    "ParallelSettings",
     "Program",
     "ProgramStateSpace",
     "RaceDetection",
@@ -106,6 +109,7 @@ __all__ = [
     "Strategy",
     "ThreadHandle",
     "ThreadId",
+    "WorkItem",
     "World",
     "alloc",
     "check",

@@ -21,7 +21,10 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..parallel.coordinator import ParallelSettings
 
 from ..core.execution import Execution, ExecutionConfig
 from ..core.program import Program
@@ -99,6 +102,8 @@ class ChessChecker:
         max_bound: Optional[int] = None,
         limits: Optional[SearchLimits] = None,
         state_caching: bool = False,
+        workers: Optional[int] = None,
+        parallel_settings: Optional["ParallelSettings"] = None,
     ) -> CheckResult:
         """Explore the program; by default with ICB until exhaustion.
 
@@ -109,7 +114,41 @@ class ChessChecker:
             max_bound: stop ICB after completing this preemption bound.
             limits: execution/transition/time budgets.
             state_caching: enable Algorithm 1's work-item table.
+            workers: with a value above 1, shard the ICB frontier
+                across this many worker processes (see
+                :mod:`repro.parallel`); the bound-ordering guarantee
+                and the certified bound are preserved by the
+                coordinator's per-bound barrier.  Mutually exclusive
+                with ``strategy`` and ``state_caching`` (a per-process
+                work-item table defeats its purpose; see
+                ``docs/parallel.md``).
+            parallel_settings: tuning/robustness knobs for ``workers``.
         """
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        if workers is not None and workers > 1:
+            if strategy is not None:
+                raise ValueError("workers only applies to the default ICB strategy")
+            if state_caching:
+                raise ValueError(
+                    "state_caching is per-process and defeats its purpose under "
+                    "parallel exploration; run serially for the ZING configuration"
+                )
+            from ..parallel.coordinator import ParallelCoordinator
+
+            coordinator = ParallelCoordinator(
+                self.program,
+                self.config,
+                workers=workers,
+                max_bound=max_bound,
+                settings=parallel_settings,
+            )
+            result = coordinator.run(limits=limits)
+            return CheckResult(
+                program=self.program.name,
+                search=result,
+                certified_bound=result.extras.get("completed_bound"),
+            )
         if strategy is None:
             strategy = IterativeContextBounding(
                 max_bound=max_bound, state_caching=state_caching
@@ -129,21 +168,20 @@ class ChessChecker:
         self,
         max_bound: Optional[int] = None,
         limits: Optional[SearchLimits] = None,
+        workers: Optional[int] = None,
     ) -> Optional[BugReport]:
         """Run ICB until the first bug; its witness is preemption-minimal.
 
         Because ICB explores every execution with ``c`` preemptions
         before any with ``c + 1``, the returned report's
         ``preemptions`` is the minimum over all witnesses of any bug.
+        With ``workers`` the parallel engine finishes the whole bound
+        in which the first bug appears before stopping, which keeps
+        the same guarantee (and the same deterministic answer) at the
+        cost of exploring the remainder of that bound.
         """
-        base = limits or SearchLimits()
-        limits = SearchLimits(
-            max_executions=base.max_executions,
-            max_transitions=base.max_transitions,
-            max_seconds=base.max_seconds,
-            stop_on_first_bug=True,
-        )
-        result = self.check(max_bound=max_bound, limits=limits)
+        limits = (limits or SearchLimits()).with_stop_on_first_bug()
+        result = self.check(max_bound=max_bound, limits=limits, workers=workers)
         return result.search.first_bug
 
     # -- witness replay ---------------------------------------------------------
@@ -174,9 +212,12 @@ def check_program(
     max_bound: Optional[int] = None,
     config: Optional[ExecutionConfig] = None,
     limits: Optional[SearchLimits] = None,
+    workers: Optional[int] = None,
 ) -> CheckResult:
     """One-call ICB checking (see :class:`ChessChecker`)."""
-    return ChessChecker(program, config).check(max_bound=max_bound, limits=limits)
+    return ChessChecker(program, config).check(
+        max_bound=max_bound, limits=limits, workers=workers
+    )
 
 
 def find_minimal_bug(
@@ -184,6 +225,9 @@ def find_minimal_bug(
     max_bound: Optional[int] = None,
     config: Optional[ExecutionConfig] = None,
     limits: Optional[SearchLimits] = None,
+    workers: Optional[int] = None,
 ) -> Optional[BugReport]:
     """One-call minimal-preemption bug finding."""
-    return ChessChecker(program, config).find_bug(max_bound=max_bound, limits=limits)
+    return ChessChecker(program, config).find_bug(
+        max_bound=max_bound, limits=limits, workers=workers
+    )

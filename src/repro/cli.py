@@ -111,8 +111,11 @@ def _make_config(args: argparse.Namespace) -> ExecutionConfig:
 
 def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("program", help="built-in name or module:factory")
-    parser.add_argument("--bound", type=int, default=None,
+    parser.add_argument("--bound", "--max-bound", dest="bound", type=int, default=None,
                         help="stop ICB after this preemption bound")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the ICB frontier across this many worker "
+                        "processes (only with --strategy icb)")
     parser.add_argument("--strategy", default="icb",
                         choices=["icb", "dfs", "idfs", "random", "most-enabled"])
     parser.add_argument("--depth-bound", type=int, default=None,
@@ -162,8 +165,15 @@ def main(argv: Optional[list] = None) -> int:
         stop_on_first_bug=args.stop_on_first_bug or args.command == "explain",
     )
 
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.workers is not None and args.strategy != "icb":
+        raise SystemExit("--workers requires the default icb strategy")
+
     if args.command == "explain":
-        bug = checker.find_bug(max_bound=args.bound, limits=limits)
+        bug = checker.find_bug(
+            max_bound=args.bound, limits=limits, workers=args.workers
+        )
         if bug is None:
             print("no bug found")
             return 0
@@ -171,7 +181,10 @@ def main(argv: Optional[list] = None) -> int:
         return 1
 
     result = checker.check(
-        strategy=_make_strategy(args), max_bound=args.bound, limits=limits
+        strategy=_make_strategy(args),
+        max_bound=args.bound,
+        limits=limits,
+        workers=args.workers,
     )
     print(result.summary())
     return 1 if result.found_bug else 0

@@ -119,6 +119,18 @@ class BugReport:
         """
         return (self.kind, self.message, self.thread)
 
+    @property
+    def identity(self) -> Tuple[Any, ...]:
+        """Stable identity of this exact report: kind plus witness.
+
+        Unlike :attr:`signature` it distinguishes different witnesses
+        of the same defect, and unlike ``hash()``-derived keys it is
+        stable across processes (thread ids compare by path), so
+        cross-process deduplication in ``SearchResult.merge`` and the
+        determinism tests can rely on it.
+        """
+        return (self.kind, tuple(t.path for t in self.schedule))
+
     def describe(self) -> str:
         """Multi-line human-readable rendering of the report."""
         lines = [f"[{self.kind}] {self.message}"]

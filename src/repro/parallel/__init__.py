@@ -1,0 +1,28 @@
+"""Multiprocess frontier-sharded exploration of the ICB search.
+
+The subsystem has three layers:
+
+* :mod:`repro.parallel.workitem` -- serializable work items: a
+  frontier state is its schedule prefix, reconstructible anywhere by
+  deterministic replay;
+* :mod:`repro.parallel.worker` -- the worker process loop, reusing the
+  serial per-item ICB exploration so parallel and serial runs explore
+  identical executions;
+* :mod:`repro.parallel.coordinator` -- shard dispatch, the per-bound
+  barrier preserving the paper's minimal-preemption guarantee, global
+  budget enforcement, and crash/timeout recovery.
+
+See ``docs/parallel.md`` for the architecture and the bound-barrier
+argument.
+"""
+
+from .coordinator import ParallelCoordinator, ParallelSettings
+from .workitem import ShardOutcome, ShardTask, WorkItem
+
+__all__ = [
+    "ParallelCoordinator",
+    "ParallelSettings",
+    "ShardOutcome",
+    "ShardTask",
+    "WorkItem",
+]

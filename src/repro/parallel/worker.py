@@ -1,0 +1,271 @@
+"""The worker process of the parallel exploration engine.
+
+Each worker owns a private :class:`~repro.core.transition.ProgramStateSpace`
+(its own live execution, replayed on demand) and loops over shard
+tasks from the coordinator's task queue.  For every work item it runs
+the *serial* ICB item exploration --
+:meth:`~repro.search.icb.IterativeContextBounding._search_item` -- so
+the parallel engine explores, transition for transition, exactly the
+executions the serial engine would; only the partitioning of the
+frontier differs.
+
+Workers communicate exclusively through the result queue:
+
+* ``("claim", worker_id, shard_id)`` -- announces which shard this
+  worker is processing, so the coordinator can requeue it if the
+  worker dies;
+* ``("progress", worker_id, exec_delta, trans_delta)`` -- periodic
+  counters letting the coordinator enforce *global* execution and
+  transition budgets across the pool;
+* ``("bug", worker_id, report)`` -- streamed immediately on discovery
+  (deduplicated coordinator-side, so resending after a retry is safe);
+* ``("done", worker_id, shard_id, outcome)`` -- the shard's final
+  :class:`~repro.parallel.workitem.ShardOutcome`.
+
+Budgets are honored cooperatively: the context checks the
+coordinator-broadcast stop event and the shared wall-clock deadline
+every few transitions and unwinds with ``SearchBudgetExceeded``, which
+marks the shard (and therefore the bound and the whole run) incomplete.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from dataclasses import replace
+from typing import Any, List, Optional, Tuple
+
+from ..core.execution import ExecutionConfig
+from ..core.program import Program
+from ..core.transition import ProgramStateSpace
+from ..errors import BugReport, SearchBudgetExceeded, SearchInterrupted
+from ..search.icb import IterativeContextBounding
+from ..search.strategy import SearchContext, SearchLimits, SearchResult
+from .workitem import ShardOutcome, ShardTask, WorkItem
+
+#: Result-queue message tags (kept as constants so coordinator and
+#: worker cannot drift apart silently).
+MSG_CLAIM = "claim"
+MSG_PROGRESS = "progress"
+MSG_BUG = "bug"
+MSG_DONE = "done"
+
+#: Task-queue sentinel telling a worker to exit its loop.
+STOP_TASK = "stop"
+
+
+class WorkerContext(SearchContext):
+    """A :class:`SearchContext` wired into the coordinator's queues.
+
+    Differences from the serial context:
+
+    * ``stop_on_first_bug`` never raises locally -- the bound barrier
+      is what preserves the minimal-preemption guarantee, so the
+      coordinator stops the pool at the end of the bound instead;
+    * wall-clock budgets use a *shared* absolute deadline (monotonic
+      clocks are system-wide on the supported platforms), so every
+      worker times out together;
+    * the coordinator's stop event is polled every
+      ``stop_check_interval`` budget checks;
+    * executions/transitions are streamed as deltas every
+      ``progress_interval`` transitions for global budget accounting.
+    """
+
+    def __init__(
+        self,
+        limits: SearchLimits,
+        worker_id: int,
+        stop_event: Any,
+        result_queue: Any,
+        deadline: Optional[float],
+        stop_check_interval: int = 64,
+        progress_interval: int = 256,
+    ) -> None:
+        super().__init__(replace(limits, stop_on_first_bug=False, max_seconds=None))
+        self.worker_id = worker_id
+        self.stop_event = stop_event
+        self.result_queue = result_queue
+        self.deadline = deadline
+        self.stop_check_interval = max(1, stop_check_interval)
+        self.progress_interval = max(1, progress_interval)
+        self._checks = 0
+        self._reported_executions = 0
+        self._reported_transitions = 0
+
+    # -- cooperative budgets -------------------------------------------------
+
+    def _check_budget(self) -> None:
+        super()._check_budget()
+        self._checks += 1
+        if self._checks % self.stop_check_interval == 0:
+            if self.stop_event.is_set():
+                raise SearchBudgetExceeded("coordinator stop")
+            if self.deadline is not None and time.monotonic() >= self.deadline:
+                raise SearchBudgetExceeded("time budget reached")
+        if self.transitions - self._reported_transitions >= self.progress_interval:
+            self.flush_progress()
+
+    def flush_progress(self) -> None:
+        """Stream execution/transition deltas to the coordinator."""
+        exec_delta = self.executions - self._reported_executions
+        trans_delta = self.transitions - self._reported_transitions
+        if exec_delta or trans_delta:
+            self.result_queue.put(
+                (MSG_PROGRESS, self.worker_id, exec_delta, trans_delta)
+            )
+            self._reported_executions = self.executions
+            self._reported_transitions = self.transitions
+
+    @property
+    def residual_executions(self) -> int:
+        return self.executions - self._reported_executions
+
+    @property
+    def residual_transitions(self) -> int:
+        return self.transitions - self._reported_transitions
+
+    # -- bug streaming -------------------------------------------------------
+
+    def note_bug(self, bug: BugReport) -> None:
+        before = self.bugs.get(bug.signature)
+        super().note_bug(bug)
+        after = self.bugs[bug.signature]
+        if after is not before:
+            # New defect, or a better (fewer-preemption) witness.
+            self.result_queue.put((MSG_BUG, self.worker_id, after))
+
+    # -- shipping ------------------------------------------------------------
+
+    def snapshot(self) -> SearchContext:
+        """A queue-free copy safe to pickle back to the coordinator."""
+        ctx = SearchContext(self.limits)
+        ctx.states = dict(self.states)
+        ctx.bugs = dict(self.bugs)
+        ctx.executions = self.executions
+        ctx.transitions = self.transitions
+        ctx.history = list(self.history)
+        ctx.max_steps = self.max_steps
+        ctx.max_blocking = self.max_blocking
+        ctx.max_preemptions = self.max_preemptions
+        return ctx
+
+
+class _DeferSink:
+    """Adapter letting ``_search_item`` defer into :class:`WorkItem` s.
+
+    The serial loop appends raw ``(state, tid)`` pairs; here every
+    deferred pair is wrapped with its prefix preemption count.  The
+    query is cheap: at the moment of deferral the space's live
+    execution is positioned exactly at ``state``.
+    """
+
+    def __init__(self, space: ProgramStateSpace) -> None:
+        self.space = space
+        self.items: List[WorkItem] = []
+
+    def append(self, pair: Tuple[object, Any]) -> None:
+        state, tid = pair
+        self.items.append(
+            WorkItem(
+                schedule=tuple(state),  # type: ignore[arg-type]
+                tid=tid,
+                preemptions=self.space.preemptions(state),
+            )
+        )
+
+
+def explore_shard(
+    space: ProgramStateSpace,
+    task: ShardTask,
+    ctx: WorkerContext,
+) -> ShardOutcome:
+    """Explore every item of ``task`` within the current bound.
+
+    Uses the serial ICB item loop verbatim, so a shard's exploration
+    is indistinguishable from the same items being drained by the
+    serial engine.  Stops early (``completed=False``) only when a
+    budget or the coordinator's stop event fires.
+    """
+
+    icb = IterativeContextBounding()
+    sink = _DeferSink(space)
+    completed, reason = True, "shard exhausted"
+    explored = 0
+    ctx.record_initial(space, space.initial_state())
+    for item in task.items:
+        try:
+            icb._search_item(space, ctx, item.as_pair(), sink, None)
+            explored += 1
+        except (SearchBudgetExceeded, SearchInterrupted) as exc:
+            completed, reason = False, str(exc)
+            break
+    ctx.flush_progress()
+    return ShardOutcome(
+        shard_id=task.shard_id,
+        worker_id=ctx.worker_id,
+        items_explored=explored,
+        completed=completed,
+        stop_reason=reason,
+        search=SearchResult(
+            strategy="icb-shard",
+            completed=completed,
+            stop_reason=reason,
+            context=ctx.snapshot(),
+            extras={"shard_id": task.shard_id, "bound": task.bound},
+        ),
+        deferred=tuple(sink.items),
+        residual_executions=0,  # flushed above
+        residual_transitions=0,
+    )
+
+
+def worker_main(
+    worker_id: int,
+    program: Program,
+    config: Optional[ExecutionConfig],
+    task_queue: Any,
+    result_queue: Any,
+    stop_event: Any,
+    limits: SearchLimits,
+    deadline: Optional[float],
+    stop_check_interval: int,
+    progress_interval: int,
+    crash_on_first_claim: bool = False,
+) -> None:
+    """Entry point of one worker process.
+
+    ``crash_on_first_claim`` is a fault-injection hook used by the
+    robustness tests: the worker claims its first shard and then dies
+    hard (``os._exit``), exactly like a segfault in the program under
+    test would kill a real worker.
+    """
+
+    space = ProgramStateSpace(program, config)
+    while True:
+        try:
+            task = task_queue.get(timeout=0.2)
+        except queue.Empty:
+            if stop_event.is_set():
+                break
+            continue
+        if task == STOP_TASK:
+            break
+        assert isinstance(task, ShardTask)
+        result_queue.put((MSG_CLAIM, worker_id, task.shard_id))
+        if crash_on_first_claim:
+            # Give the queue's feeder thread a moment to flush the
+            # claim, then die without any cleanup.
+            time.sleep(0.2)
+            os._exit(17)
+        ctx = WorkerContext(
+            limits,
+            worker_id,
+            stop_event,
+            result_queue,
+            deadline,
+            stop_check_interval=stop_check_interval,
+            progress_interval=progress_interval,
+        )
+        outcome = explore_shard(space, task, ctx)
+        result_queue.put((MSG_DONE, worker_id, task.shard_id, outcome))

@@ -1,0 +1,107 @@
+"""Serializable units of parallel exploration work.
+
+The stateless checker makes parallel search almost trivial: a frontier
+state *is* its schedule, so any process can reconstruct it by
+deterministic replay through :class:`~repro.core.execution.Execution`.
+A :class:`WorkItem` is exactly one entry of the serial ICB work queue
+-- ``(schedule_prefix, next_tid)`` -- plus the preemption count of the
+prefix, so the coordinator can account items to bounds without
+replaying them itself.
+
+Everything in this module must stay picklable with the standard
+library pickler: work items and shard outcomes cross process
+boundaries through ``multiprocessing`` queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.execution import Schedule
+from ..core.thread import ThreadId
+from ..search.strategy import SearchResult
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One deferred exploration obligation.
+
+    Attributes:
+        schedule: the scheduling choices reaching the frontier state
+            (a complete replay recipe, per the stateless design).
+        tid: the thread to run next from that state.
+        preemptions: preempting context switches already spent along
+            ``schedule`` (NP of the prefix).  Purely bookkeeping: the
+            replay recomputes it, but the coordinator uses it to
+            sanity-check bound accounting without replaying.
+    """
+
+    schedule: Schedule
+    tid: ThreadId
+    preemptions: int = 0
+
+    def as_pair(self) -> Tuple[Schedule, ThreadId]:
+        """The ``(state, tid)`` pair the serial ICB loop consumes."""
+        return (self.schedule, self.tid)
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A batch of work items dispatched to one worker."""
+
+    shard_id: int
+    bound: int
+    items: Tuple[WorkItem, ...]
+
+
+@dataclass
+class ShardOutcome:
+    """What a worker reports back for one explored shard.
+
+    ``search`` carries the shard's full statistics as an ordinary
+    :class:`~repro.search.strategy.SearchResult`, so the coordinator
+    can fold shards together with :meth:`SearchResult.merge`.
+    ``residual_executions``/``residual_transitions`` are the counts
+    *not yet* streamed through progress messages, letting the
+    coordinator keep a running global total for budget enforcement
+    without double counting.
+    """
+
+    shard_id: int
+    worker_id: int
+    items_explored: int
+    completed: bool
+    stop_reason: str
+    search: SearchResult
+    deferred: Tuple[WorkItem, ...] = ()
+    residual_executions: int = 0
+    residual_transitions: int = 0
+
+
+@dataclass
+class ShardState:
+    """Coordinator-side tracking of one outstanding shard."""
+
+    task: ShardTask
+    retries: int = 0
+    worker_id: Optional[int] = None
+    claimed_at: Optional[float] = None
+
+
+def chunk_frontier(
+    items: List[WorkItem], workers: int, overpartition: int, chunk_size: Optional[int]
+) -> List[Tuple[WorkItem, ...]]:
+    """Partition a frontier into contiguous shards.
+
+    With ``chunk_size`` unset the frontier is cut into roughly
+    ``workers * overpartition`` chunks: enough slack that a fast
+    worker keeps pulling new shards while a slow one grinds, without
+    paying one queue round-trip per item.
+    """
+
+    if not items:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(items) // max(1, workers * overpartition)))
+    return [tuple(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]

@@ -17,9 +17,10 @@ the quantities every experiment in the paper is built on:
 from __future__ import annotations
 
 import abc
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import (
     BugReport,
@@ -43,6 +44,30 @@ class SearchLimits:
     max_transitions: Optional[int] = None
     max_seconds: Optional[float] = None
     stop_on_first_bug: bool = False
+
+    def with_stop_on_first_bug(self, value: bool = True) -> "SearchLimits":
+        """A copy with ``stop_on_first_bug`` set, all else preserved.
+
+        Callers must use this instead of rebuilding limits field by
+        field, so newly added budget fields can never be silently
+        dropped along the way.
+        """
+        return dataclasses.replace(self, stop_on_first_bug=value)
+
+
+def _witness_key(bug: BugReport) -> Tuple[int, int, Tuple[Tuple[int, ...], ...]]:
+    """Total order on witnesses of one defect: fewest preemptions,
+    then shortest, then lexicographically smallest schedule."""
+    return (bug.preemptions, len(bug.schedule), tuple(t.path for t in bug.schedule))
+
+
+def _better_witness(challenger: BugReport, incumbent: BugReport) -> bool:
+    """Whether ``challenger`` is the witness to keep.
+
+    Deterministic regardless of discovery or arrival order, which is
+    what makes cross-process bug deduplication well-defined.
+    """
+    return _witness_key(challenger) < _witness_key(incumbent)
 
 
 class SearchContext:
@@ -193,6 +218,82 @@ class SearchResult:
         return (
             f"{self.strategy}: {self.executions} executions, "
             f"{self.distinct_states} states, {len(self.bugs)} bug(s), {status}"
+        )
+
+    # -- merging ----------------------------------------------------------------
+
+    @classmethod
+    def merge(
+        cls,
+        results: Sequence["SearchResult"],
+        strategy: Optional[str] = None,
+        completed: Optional[bool] = None,
+        stop_reason: Optional[str] = None,
+    ) -> "SearchResult":
+        """Fold results of disjoint explorations into one.
+
+        Used by the parallel engine to combine per-shard results, and
+        usable for any partition of a search (e.g. per-bound runs):
+
+        * executions and transitions are summed;
+        * distinct states are unioned, each keeping the minimum
+          preemption count over all parts;
+        * bugs are deduplicated by :attr:`BugReport.signature`, keeping
+          the minimal-preemption witness with a deterministic
+          tie-break, so the merged ``first_bug`` does not depend on
+          the order parts arrived in;
+        * per-execution maxima (K, B, c of Table 1) take the maximum;
+        * the coverage history concatenates parts with their execution
+          counts offset (cross-part state overlap makes the distinct
+          counts approximate; the series is forced monotone).
+
+        ``completed`` defaults to all-parts-completed; ``stop_reason``
+        to the first incomplete part's reason.
+        """
+        if not results:
+            raise ValueError("merge needs at least one result")
+        merged = SearchContext(results[0].context.limits)
+        merged.started_at = min(r.context.started_at for r in results)
+        exec_offset = 0
+        high_water = 0
+        for result in results:
+            ctx = result.context
+            for fingerprint, preemptions in ctx.states.items():
+                known = merged.states.get(fingerprint)
+                if known is None or preemptions < known:
+                    merged.states[fingerprint] = preemptions
+            for bug in ctx.bugs.values():
+                known_bug = merged.bugs.get(bug.signature)
+                if known_bug is None or _better_witness(bug, known_bug):
+                    merged.bugs[bug.signature] = bug
+            merged.executions += ctx.executions
+            merged.transitions += ctx.transitions
+            merged.max_steps = max(merged.max_steps, ctx.max_steps)
+            merged.max_blocking = max(merged.max_blocking, ctx.max_blocking)
+            merged.max_preemptions = max(merged.max_preemptions, ctx.max_preemptions)
+            for executions, distinct in ctx.history:
+                high_water = max(high_water, distinct)
+                merged.history.append((exec_offset + executions, high_water))
+            exec_offset += ctx.executions
+        if completed is None:
+            completed = all(r.completed for r in results)
+        if stop_reason is None:
+            stop_reason = next(
+                (r.stop_reason for r in results if not r.completed),
+                "exhausted state space",
+            )
+        extras: Dict[str, Any] = {}
+        bounds = [r.extras.get("completed_bound") for r in results]
+        if any("completed_bound" in r.extras for r in results):
+            extras["completed_bound"] = (
+                None if any(b is None for b in bounds) else min(bounds)
+            )
+        return cls(
+            strategy=strategy or results[0].strategy,
+            completed=completed,
+            stop_reason=stop_reason,
+            context=merged,
+            extras=extras,
         )
 
 

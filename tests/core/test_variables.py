@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import BugKind, Execution, ExecutionConfig, Program, RaceDetection
 from repro.core.variables import AtomicVar, SharedVar
 from repro.core.world import World

@@ -10,7 +10,7 @@ family of correct programs whose full state spaces are enumerable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ from repro import (
     ChessChecker,
     DepthFirstSearch,
     IterativeContextBounding,
-    Program,
     SearchLimits,
 )
 from repro.programs import toy

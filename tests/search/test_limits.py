@@ -1,0 +1,66 @@
+"""SearchLimits budgets: serial termination and field preservation."""
+
+from __future__ import annotations
+
+from repro import ChessChecker, SearchLimits
+from repro.programs.bluetooth import bluetooth
+
+
+class TestWithStopOnFirstBug:
+    def test_preserves_every_field(self):
+        base = SearchLimits(max_executions=7, max_transitions=11, max_seconds=1.5)
+        stopped = base.with_stop_on_first_bug()
+        assert stopped.stop_on_first_bug
+        assert stopped.max_executions == 7
+        assert stopped.max_transitions == 11
+        assert stopped.max_seconds == 1.5
+        # The original is untouched (SearchLimits is frozen).
+        assert not base.stop_on_first_bug
+
+    def test_can_clear_the_flag(self):
+        limits = SearchLimits(stop_on_first_bug=True).with_stop_on_first_bug(False)
+        assert not limits.stop_on_first_bug
+
+
+class TestSerialBudgets:
+    def test_transition_budget_terminates_icb(self):
+        result = ChessChecker(bluetooth(buggy=True)).check(
+            limits=SearchLimits(max_transitions=200)
+        )
+        assert not result.search.completed
+        assert "transition budget" in result.search.stop_reason
+        assert result.transitions == 200
+
+    def test_execution_budget_terminates_icb(self):
+        result = ChessChecker(bluetooth(buggy=True)).check(
+            limits=SearchLimits(max_executions=10)
+        )
+        assert not result.search.completed
+        assert "execution budget" in result.search.stop_reason
+        assert result.executions == 10
+
+    def test_time_budget_terminates_icb(self):
+        result = ChessChecker(bluetooth(buggy=True)).check(
+            limits=SearchLimits(max_seconds=0.0)
+        )
+        assert not result.search.completed
+        assert "time budget" in result.search.stop_reason
+
+
+class TestFindBugPreservesCallerLimits:
+    """find_bug must not rebuild limits by hand (regression guard)."""
+
+    def test_transition_cap_respected(self):
+        # The minimal bluetooth bug needs more than 50 transitions to
+        # reach; with the cap preserved, find_bug must come back empty.
+        bug = ChessChecker(bluetooth(buggy=True)).find_bug(
+            limits=SearchLimits(max_transitions=50)
+        )
+        assert bug is None
+
+    def test_bug_found_when_budget_allows(self):
+        bug = ChessChecker(bluetooth(buggy=True)).find_bug(
+            limits=SearchLimits(max_transitions=5000)
+        )
+        assert bug is not None
+        assert bug.preemptions == 1

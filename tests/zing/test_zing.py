@@ -8,7 +8,6 @@ from repro import BugKind, DepthFirstSearch, IterativeContextBounding, RandomWal
 from repro.errors import ProgramDefinitionError
 from repro.zing import (
     ZingChecker,
-    ZingCtx,
     ZingModel,
     ZingStateSpace,
     acquire,
