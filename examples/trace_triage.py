@@ -1,0 +1,111 @@
+"""Reproducing and triaging bugs with persistent witness traces.
+
+The arc of a real concurrency bug: a checking run finds it, the
+witness is saved as a ``*.trace.json`` artifact, a colleague replays
+it deterministically in another process, the minimizer shrinks it to
+the simplest explanation, and the trace joins a regression corpus
+that classifies every way the recording can go stale — reproduced,
+vanished (fixed!), changed, or mismatched against a refactored
+program.
+
+Run:  python examples/trace_triage.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ChessChecker,
+    Program,
+    TraceCorpus,
+    TraceRecord,
+    check,
+    join,
+    minimize_trace,
+    replay_trace,
+    spawn,
+)
+
+
+def account(variant="buggy"):
+    """A racy bank account, in three states of repair.
+
+    * ``buggy``  -- read-modify-write deposits with no protection;
+    * ``fixed``  -- deposits made atomic (the bug is gone);
+    * ``locked`` -- deposits wrapped in a mutex: also correct, but the
+      *synchronization structure* changed, so old witnesses no longer
+      even replay -- the third triage outcome.
+    """
+
+    def setup(w):
+        balance = w.atomic("balance", 0)
+        guard = w.mutex("guard")
+
+        def deposit(amount):
+            if variant == "fixed":
+                yield balance.read()  # the stale read survives the patch...
+                yield balance.add(amount)  # ...but the lost update does not
+                return
+            if variant == "locked":
+                yield guard.acquire()
+            current = yield balance.read()
+            yield balance.write(current + amount)
+            if variant == "locked":
+                yield guard.release()
+
+        def main():
+            first = yield spawn(deposit, 100, name="alice")
+            second = yield spawn(deposit, 50, name="bob")
+            yield join(first)
+            yield join(second)
+            total = yield balance.read()
+            check(total == 150, f"deposits lost: balance is {total}")
+
+        return {"main": main}
+
+    return Program("bank-account", setup)
+
+
+def banner(title):
+    print()
+    print(f"=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+
+    banner("1. Find the bug and save its witness")
+    program = account("buggy")
+    checker = ChessChecker(program)
+    bug = checker.find_bug(max_bound=2)
+    trace = TraceRecord.from_bug(program, checker.config, bug)
+    path = trace.save(workdir)
+    print(f"saved: {path.name}")
+    print(trace.summary())
+
+    banner("2. Reload and replay deterministically")
+    loaded = TraceRecord.load(path)
+    report = replay_trace(loaded, account("buggy"))
+    print(report.explain())
+
+    banner("3. Minimize to the simplest explanation")
+    result = minimize_trace(loaded, account("buggy"))
+    print(result.summary())
+    result.trace.save(workdir)
+
+    banner("4. Triage: the bug was fixed")
+    print(replay_trace(loaded, account("fixed")).describe())
+
+    banner("5. Triage: the synchronization structure changed")
+    print(replay_trace(loaded, account("locked")).describe())
+
+    banner("6. The corpus as a regression gate")
+    corpus = TraceCorpus(workdir)
+    report = corpus.run(resolve=lambda trace: account("buggy"))
+    print(report.summary())
+    print()
+    print(f"corpus ok: {report.ok}  (CI: `python -m repro corpus run {workdir}`)")
+
+
+if __name__ == "__main__":
+    main()

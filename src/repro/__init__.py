@@ -39,6 +39,8 @@ Package layout:
   framework.
 * :mod:`repro.theory` -- the combinatorial bounds of Theorem 1.
 * :mod:`repro.programs` -- the paper's benchmark programs.
+* :mod:`repro.trace` -- persistent witness traces: deterministic
+  replay, schedule minimization, and the bug-corpus regression runner.
 * :mod:`repro.experiments` -- drivers regenerating every table and
   figure of the evaluation.
 """
@@ -56,9 +58,19 @@ from .core.program import Program, check
 from .core.thread import ThreadHandle, ThreadId
 from .core.transition import ProgramStateSpace, StateSpace
 from .core.world import World
-from .errors import BugKind, BugReport, ReproError
+from .errors import BugKind, BugReport, ReproError, ScheduleMismatch
 from .monitors.monitor import FinalStateMonitor, InvariantMonitor, Monitor, monitor_factory
 from .parallel import ParallelCoordinator, ParallelSettings, WorkItem
+from .trace import (
+    MinimizationResult,
+    ReplayOutcome,
+    ReplayReport,
+    TraceCorpus,
+    TraceFormatError,
+    TraceRecord,
+    minimize_trace,
+    replay_trace,
+)
 from .search import (
     DepthFirstSearch,
     EnabledThreadsHeuristic,
@@ -90,6 +102,7 @@ __all__ = [
     "InvariantMonitor",
     "IterativeContextBounding",
     "IterativeDeepening",
+    "MinimizationResult",
     "Monitor",
     "PCTScheduler",
     "ParallelCoordinator",
@@ -98,7 +111,10 @@ __all__ = [
     "ProgramStateSpace",
     "RaceDetection",
     "RandomWalk",
+    "ReplayOutcome",
+    "ReplayReport",
     "ReproError",
+    "ScheduleMismatch",
     "SchedulingPolicy",
     "SearchContext",
     "SearchLimits",
@@ -109,6 +125,9 @@ __all__ = [
     "Strategy",
     "ThreadHandle",
     "ThreadId",
+    "TraceCorpus",
+    "TraceFormatError",
+    "TraceRecord",
     "WorkItem",
     "World",
     "alloc",
@@ -116,7 +135,9 @@ __all__ = [
     "check_program",
     "find_minimal_bug",
     "join",
+    "minimize_trace",
     "monitor_factory",
+    "replay_trace",
     "sched_yield",
     "spawn",
 ]

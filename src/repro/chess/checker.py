@@ -20,8 +20,9 @@ Typical use::
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..parallel.coordinator import ParallelSettings
@@ -104,6 +105,8 @@ class ChessChecker:
         state_caching: bool = False,
         workers: Optional[int] = None,
         parallel_settings: Optional["ParallelSettings"] = None,
+        trace_dir: Optional[Union[str, pathlib.Path]] = None,
+        trace_spec: Optional[str] = None,
     ) -> CheckResult:
         """Explore the program; by default with ICB until exhaustion.
 
@@ -123,6 +126,14 @@ class ChessChecker:
                 work-item table defeats its purpose; see
                 ``docs/parallel.md``).
             parallel_settings: tuning/robustness knobs for ``workers``.
+            trace_dir: when set, every deduplicated bug's witness is
+                persisted there as a ``*.trace.json`` file (see
+                :mod:`repro.trace`); under ``workers`` the coordinator
+                additionally persists bugs as they stream in, so a
+                cross-process witness survives even a crashed run.
+            trace_spec: optional program spec (e.g. ``wsq:pop-race``)
+                recorded in saved traces so ``corpus run`` can rebuild
+                the program later.
         """
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
@@ -142,13 +153,18 @@ class ChessChecker:
                 workers=workers,
                 max_bound=max_bound,
                 settings=parallel_settings,
+                trace_dir=trace_dir,
+                trace_spec=trace_spec,
             )
             result = coordinator.run(limits=limits)
-            return CheckResult(
+            check_result = CheckResult(
                 program=self.program.name,
                 search=result,
                 certified_bound=result.extras.get("completed_bound"),
             )
+            if trace_dir is not None:
+                self.save_traces(check_result.bugs, trace_dir, spec=trace_spec)
+            return check_result
         if strategy is None:
             strategy = IterativeContextBounding(
                 max_bound=max_bound, state_caching=state_caching
@@ -160,15 +176,20 @@ class ChessChecker:
         if certified is None and result.completed:
             # Non-ICB strategies that exhausted the space certify all bounds.
             certified = result.context.max_preemptions
-        return CheckResult(
+        check_result = CheckResult(
             program=self.program.name, search=result, certified_bound=certified
         )
+        if trace_dir is not None:
+            self.save_traces(check_result.bugs, trace_dir, spec=trace_spec)
+        return check_result
 
     def find_bug(
         self,
         max_bound: Optional[int] = None,
         limits: Optional[SearchLimits] = None,
         workers: Optional[int] = None,
+        trace_dir: Optional[Union[str, pathlib.Path]] = None,
+        trace_spec: Optional[str] = None,
     ) -> Optional[BugReport]:
         """Run ICB until the first bug; its witness is preemption-minimal.
 
@@ -181,8 +202,36 @@ class ChessChecker:
         cost of exploring the remainder of that bound.
         """
         limits = (limits or SearchLimits()).with_stop_on_first_bug()
-        result = self.check(max_bound=max_bound, limits=limits, workers=workers)
+        result = self.check(
+            max_bound=max_bound,
+            limits=limits,
+            workers=workers,
+            trace_dir=trace_dir,
+            trace_spec=trace_spec,
+        )
         return result.search.first_bug
+
+    # -- trace persistence ------------------------------------------------------
+
+    def save_traces(
+        self,
+        bugs: Sequence[BugReport],
+        trace_dir: Union[str, pathlib.Path],
+        spec: Optional[str] = None,
+    ) -> List[pathlib.Path]:
+        """Persist witness traces for ``bugs`` under ``trace_dir``.
+
+        Filenames are content-addressed by witness identity, so saving
+        the same bug repeatedly overwrites rather than duplicates.
+        """
+        from ..trace.corpus import TraceCorpus
+        from ..trace.format import TraceRecord
+
+        corpus = TraceCorpus(trace_dir)
+        return [
+            corpus.save(TraceRecord.from_bug(self.program, self.config, bug, spec=spec))
+            for bug in bugs
+        ]
 
     # -- witness replay ---------------------------------------------------------
 
@@ -213,10 +262,11 @@ def check_program(
     config: Optional[ExecutionConfig] = None,
     limits: Optional[SearchLimits] = None,
     workers: Optional[int] = None,
+    trace_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> CheckResult:
     """One-call ICB checking (see :class:`ChessChecker`)."""
     return ChessChecker(program, config).check(
-        max_bound=max_bound, limits=limits, workers=workers
+        max_bound=max_bound, limits=limits, workers=workers, trace_dir=trace_dir
     )
 
 
@@ -226,8 +276,9 @@ def find_minimal_bug(
     config: Optional[ExecutionConfig] = None,
     limits: Optional[SearchLimits] = None,
     workers: Optional[int] = None,
+    trace_dir: Optional[Union[str, pathlib.Path]] = None,
 ) -> Optional[BugReport]:
     """One-call minimal-preemption bug finding."""
     return ChessChecker(program, config).find_bug(
-        max_bound=max_bound, limits=limits, workers=workers
+        max_bound=max_bound, limits=limits, workers=workers, trace_dir=trace_dir
     )

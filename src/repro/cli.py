@@ -11,7 +11,18 @@ Checks a built-in benchmark program (or any program importable as
 
 ``check`` exits non-zero when a bug is found, so the CLI slots into CI
 pipelines the way the paper envisions systematic testing replacing
-stress testing.
+stress testing.  Found bugs become durable, shippable artifacts
+through the trace subsystem (see ``docs/trace.md``)::
+
+    python -m repro check bluetooth --trace-dir traces/
+    python -m repro trace save wsq:pop-race pop-race.trace.json
+    python -m repro trace replay pop-race.trace.json
+    python -m repro trace minimize pop-race.trace.json
+    python -m repro corpus run traces/
+
+``trace replay`` exits 0 only when the stored bug is ``REPRODUCED``;
+``corpus run`` exits non-zero iff any stored trace fails to reproduce
+-- the regression loop for a directory of known bugs.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from typing import Callable, Dict, Optional
 from .chess.checker import ChessChecker
 from .core.execution import ExecutionConfig, RaceDetection, SchedulingPolicy
 from .core.program import Program
+from .programs import builtin_registry
 from .search import (
     DepthFirstSearch,
     EnabledThreadsHeuristic,
@@ -35,36 +47,7 @@ from .search import (
 
 
 def _builtin_programs() -> Dict[str, Callable[[], Program]]:
-    from .programs.ape import VARIANTS as APE_VARIANTS, ape
-    from .programs.bluetooth import bluetooth
-    from .programs.dryad import VARIANTS as DRYAD_VARIANTS, dryad_channels
-    from .programs.filesystem import filesystem
-    from .programs.workstealqueue import VARIANTS as WSQ_VARIANTS, work_steal_queue
-    from .programs import toy
-
-    registry: Dict[str, Callable[[], Program]] = {
-        "bluetooth": lambda: bluetooth(buggy=True),
-        "bluetooth:fixed": lambda: bluetooth(buggy=False),
-        "filesystem": filesystem,
-        "wsq": work_steal_queue,
-        "ape": ape,
-        "dryad": lambda: dryad_channels(workers=2, data_items=1),
-        "toy:racy-counter": toy.racy_counter,
-        "toy:atomic-counter": toy.atomic_counter_assert,
-        "toy:deadlock": toy.lock_order_deadlock,
-        "toy:dekker": toy.dekker,
-        "toy:peterson": toy.peterson,
-        "toy:uaf": toy.use_after_free_toy,
-    }
-    for variant in WSQ_VARIANTS:
-        registry[f"wsq:{variant}"] = lambda v=variant: work_steal_queue(variant=v)
-    for variant in APE_VARIANTS:
-        registry[f"ape:{variant}"] = lambda v=variant: ape(variant=v)
-    for variant in DRYAD_VARIANTS:
-        registry[f"dryad:{variant}"] = lambda v=variant: dryad_channels(
-            variant=v, workers=2, data_items=1
-        )
-    return registry
+    return builtin_registry()
 
 
 def _resolve_program(spec: str) -> Program:
@@ -130,6 +113,88 @@ def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--policy", default="sync-only",
                         choices=[p.value for p in SchedulingPolicy])
     parser.add_argument("--no-race-detection", action="store_true")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="persist every found bug's witness as a "
+                        "*.trace.json file under this directory")
+
+
+def _resolve_trace_target(args: argparse.Namespace, trace) -> Program:
+    """The program a trace subcommand replays against: an explicit
+    ``--program`` override, or the trace's own recorded resolution."""
+    from .trace.corpus import resolve_trace_program
+
+    if getattr(args, "program", None):
+        return _resolve_program(args.program)
+    try:
+        return resolve_trace_program(trace)
+    except Exception as exc:
+        raise SystemExit(f"cannot resolve the trace's program: {exc}; pass --program")
+
+
+def _cmd_trace_save(args: argparse.Namespace) -> int:
+    from .trace.format import TraceRecord
+
+    program = _resolve_program(args.program)
+    checker = ChessChecker(program, _make_config(args))
+    limits = SearchLimits(
+        max_executions=args.executions, max_seconds=args.seconds,
+        stop_on_first_bug=True,
+    )
+    bug = checker.find_bug(max_bound=args.bound, limits=limits, workers=args.workers)
+    if bug is None:
+        print("no bug found; nothing to save")
+        return 1
+    trace = TraceRecord.from_bug(program, checker.config, bug, spec=args.program)
+    path = trace.save(args.out)
+    print(f"saved {path}")
+    print(trace.summary())
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from .trace.format import TraceFormatError, TraceRecord
+    from .trace.replay import replay_trace
+
+    try:
+        trace = TraceRecord.load(args.trace)
+    except TraceFormatError as exc:
+        raise SystemExit(f"bad trace file: {exc}")
+    program = _resolve_trace_target(args, trace)
+    report = replay_trace(trace, program)
+    print(report.explain())
+    return 0 if report.reproduced else 1
+
+
+def _cmd_trace_minimize(args: argparse.Namespace) -> int:
+    from .trace.format import TraceFormatError, TraceRecord
+    from .trace.minimize import MinimizationError, minimize_trace
+
+    try:
+        trace = TraceRecord.load(args.trace)
+    except TraceFormatError as exc:
+        raise SystemExit(f"bad trace file: {exc}")
+    program = _resolve_trace_target(args, trace)
+    try:
+        result = minimize_trace(trace, program)
+    except MinimizationError as exc:
+        raise SystemExit(str(exc))
+    out = args.out or args.trace
+    result.trace.save(out)
+    print(result.summary())
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_corpus_run(args: argparse.Namespace) -> int:
+    from .trace.corpus import TraceCorpus
+
+    corpus = TraceCorpus(args.dir)
+    if not corpus.paths():
+        print(f"no *.trace.json files under {args.dir}")
+        return 1
+    report = corpus.run()
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -150,12 +215,58 @@ def main(argv: Optional[list] = None) -> int:
     )
     _add_check_arguments(explain_parser)
 
+    trace_parser = commands.add_parser(
+        "trace", help="save, replay or minimize witness traces"
+    )
+    trace_commands = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    save_parser = trace_commands.add_parser(
+        "save", help="find the minimal bug and save its witness trace"
+    )
+    _add_check_arguments(save_parser)
+    save_parser.add_argument("out", help="output file (or directory) for the trace")
+
+    replay_parser = trace_commands.add_parser(
+        "replay", help="replay a saved trace and classify the outcome"
+    )
+    replay_parser.add_argument("trace", help="a *.trace.json file")
+    replay_parser.add_argument("--program", default=None,
+                               help="override the program to replay against "
+                               "(built-in name or module:factory)")
+
+    minimize_parser = trace_commands.add_parser(
+        "minimize", help="shrink a saved trace, re-validating by replay"
+    )
+    minimize_parser.add_argument("trace", help="a *.trace.json file")
+    minimize_parser.add_argument("--out", default=None,
+                                 help="write the minimized trace here instead "
+                                 "of overwriting the input")
+    minimize_parser.add_argument("--program", default=None,
+                                 help="override the program to replay against")
+
+    corpus_parser = commands.add_parser(
+        "corpus", help="operate on a directory of witness traces"
+    )
+    corpus_commands = corpus_parser.add_subparsers(dest="corpus_command", required=True)
+    corpus_run_parser = corpus_commands.add_parser(
+        "run", help="replay every stored trace; fail unless all reproduce"
+    )
+    corpus_run_parser.add_argument("dir", help="directory of *.trace.json files")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name in sorted(_builtin_programs()):
             print(name)
         return 0
+    if args.command == "trace":
+        if args.trace_command == "save":
+            return _cmd_trace_save(args)
+        if args.trace_command == "replay":
+            return _cmd_trace_replay(args)
+        return _cmd_trace_minimize(args)
+    if args.command == "corpus":
+        return _cmd_corpus_run(args)
 
     program = _resolve_program(args.program)
     checker = ChessChecker(program, _make_config(args))
@@ -171,13 +282,20 @@ def main(argv: Optional[list] = None) -> int:
         raise SystemExit("--workers requires the default icb strategy")
 
     if args.command == "explain":
+        from .trace.format import TraceRecord
+        from .trace.replay import replay_trace
+
         bug = checker.find_bug(
-            max_bound=args.bound, limits=limits, workers=args.workers
+            max_bound=args.bound, limits=limits, workers=args.workers,
+            trace_dir=args.trace_dir, trace_spec=args.program,
         )
         if bug is None:
             print("no bug found")
             return 0
-        print(checker.explain(bug))
+        # Replay through the trace subsystem from the (possibly merged,
+        # cross-process) result's witness -- never by re-searching.
+        trace = TraceRecord.from_bug(program, checker.config, bug, spec=args.program)
+        print(replay_trace(trace, program, config=checker.config).explain())
         return 1
 
     result = checker.check(
@@ -185,6 +303,8 @@ def main(argv: Optional[list] = None) -> int:
         max_bound=args.bound,
         limits=limits,
         workers=args.workers,
+        trace_dir=args.trace_dir,
+        trace_spec=args.program,
     )
     print(result.summary())
     return 1 if result.found_bug else 0

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from .effects import Effect
@@ -41,6 +41,35 @@ class ThreadId:
     def child(self, index: int, label: str = "") -> "ThreadId":
         """The identifier of this thread's ``index``-th spawned child."""
         return ThreadId(self.path + (index,), label or f"{self.label}.{index}")
+
+    @classmethod
+    def from_path(
+        cls, path: Union[str, Sequence[int]], label: str = ""
+    ) -> "ThreadId":
+        """Rebuild an identifier from a serialized path.
+
+        The inverse of :attr:`path` (and of the dotted rendering
+        ``".".join(map(str, path))``), so thread identities round-trip
+        losslessly through JSON trace files.  Accepts either a sequence
+        of non-negative integers or a dotted string like ``"0.2.1"``.
+        """
+        if isinstance(path, str):
+            text = path.strip()
+            if not text:
+                raise ValueError("thread path string must be non-empty")
+            try:
+                parts = tuple(int(piece) for piece in text.split("."))
+            except ValueError as exc:
+                raise ValueError(f"malformed thread path {path!r}") from exc
+        else:
+            parts = tuple(path)
+            if not parts:
+                raise ValueError("thread path must be non-empty")
+            if not all(isinstance(piece, int) and not isinstance(piece, bool) for piece in parts):
+                raise ValueError(f"thread path must contain only integers, got {path!r}")
+        if any(piece < 0 for piece in parts):
+            raise ValueError(f"thread path indices must be non-negative, got {parts!r}")
+        return cls(parts, label)
 
     def __hash__(self) -> int:
         return hash(self.path)

@@ -45,6 +45,48 @@ class ReplayDivergenceError(ReproError):
     """
 
 
+class ScheduleMismatch(ReplayDivergenceError):
+    """A saved witness schedule cannot be replayed against this program.
+
+    Raised (or classified, see :mod:`repro.trace.replay`) when a
+    persisted trace is replayed against a program that no longer agrees
+    with the recording: the program's thread structure changed, the
+    schedule names a thread that is never created, a scheduled thread is
+    not enabled where the recording says it ran, or the program
+    terminates before the schedule is exhausted.
+
+    Attributes:
+        flavor: which way the replay diverged -- one of ``fingerprint``,
+            ``unknown-thread``, ``not-enabled``, ``early-termination``.
+        step_index: schedule position at which the divergence was
+            detected (``-1`` for pre-replay checks such as the program
+            fingerprint).
+        scheduled: path of the thread the trace wanted to run, if any.
+        enabled: paths of the threads actually enabled at that point.
+    """
+
+    def __init__(
+        self,
+        flavor: str,
+        message: str,
+        step_index: int = -1,
+        scheduled: Optional[Tuple[int, ...]] = None,
+        enabled: Tuple[Tuple[int, ...], ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.flavor = flavor
+        self.step_index = step_index
+        self.scheduled = scheduled
+        self.enabled = enabled
+
+    def describe(self) -> str:
+        """One-line rendering used by replay reports and the CLI."""
+        parts = [f"schedule mismatch ({self.flavor}): {self.args[0]}"]
+        if self.step_index >= 0:
+            parts.append(f"at step {self.step_index}")
+        return " ".join(parts)
+
+
 class SearchBudgetExceeded(ReproError):
     """Internal control-flow signal: the search budget was exhausted."""
 

@@ -103,11 +103,18 @@ class _RunState:
     #: minimal-preemption witness kept (same rule as SearchContext).
     bugs: Dict[Tuple[Any, ...], BugReport] = field(default_factory=dict)
     shard_results: List[SearchResult] = field(default_factory=list)
+    #: Persists each adopted witness as a trace file (``None`` when no
+    #: trace directory was configured).  Called on the coordinator, so
+    #: a bug found in a worker process becomes durable the moment it
+    #: streams in -- even if the run later crashes or is killed.
+    trace_writer: Optional[Any] = None
 
     def note_bug(self, bug: BugReport) -> None:
         known = self.bugs.get(bug.signature)
         if known is None or _better_witness(bug, known):
             self.bugs[bug.signature] = bug
+            if self.trace_writer is not None:
+                self.trace_writer(bug)
 
 
 class ParallelCoordinator:
@@ -134,6 +141,8 @@ class ParallelCoordinator:
         workers: int = 2,
         max_bound: Optional[int] = None,
         settings: Optional[ParallelSettings] = None,
+        trace_dir: Optional[Any] = None,
+        trace_spec: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -144,6 +153,26 @@ class ParallelCoordinator:
         self.workers = workers
         self.max_bound = max_bound
         self.settings = settings or ParallelSettings()
+        self.trace_dir = trace_dir
+        self.trace_spec = trace_spec
+
+    def _trace_writer(self) -> Optional[Any]:
+        """Build the streamed-bug persister for this run, if enabled."""
+        if self.trace_dir is None:
+            return None
+        from ..trace.corpus import TraceCorpus
+        from ..trace.format import TraceRecord
+
+        corpus = TraceCorpus(self.trace_dir)
+
+        def write(bug: BugReport) -> None:
+            corpus.save(
+                TraceRecord.from_bug(
+                    self.program, self.config, bug, spec=self.trace_spec
+                )
+            )
+
+        return write
 
     # -- public API ---------------------------------------------------------
 
@@ -246,7 +275,7 @@ class ParallelCoordinator:
             proc.start()
             procs[wid] = proc
 
-        state = _RunState()
+        state = _RunState(trace_writer=self._trace_writer())
         completed, reason = True, "exhausted state space"
         bound = 0
         try:

@@ -22,6 +22,9 @@ producer/consumer, deadlocks -- the unit/property-test corpus) and
 buffer -- lock-free idioms with seeded publication bugs).
 """
 
+from typing import Callable, Dict, Optional
+
+from ..core.program import Program
 from . import (
     ape,
     bluetooth,
@@ -36,10 +39,67 @@ from . import (
 __all__ = [
     "ape",
     "bluetooth",
+    "builtin_registry",
     "classic",
     "dryad",
     "filesystem",
+    "find_builtin_by_name",
+    "resolve_builtin",
     "toy",
     "transaction_manager",
     "workstealqueue",
 ]
+
+
+def builtin_registry() -> Dict[str, Callable[[], Program]]:
+    """Spec -> factory for every built-in benchmark program.
+
+    The specs are the names accepted by the CLI (``bluetooth``,
+    ``wsq:pop-race``, ...) and recorded in persisted witness traces,
+    so a trace found anywhere can be re-resolved to its program here.
+    """
+    registry: Dict[str, Callable[[], Program]] = {
+        "bluetooth": lambda: bluetooth.bluetooth(buggy=True),
+        "bluetooth:fixed": lambda: bluetooth.bluetooth(buggy=False),
+        "filesystem": filesystem.filesystem,
+        "wsq": workstealqueue.work_steal_queue,
+        "ape": ape.ape,
+        "dryad": lambda: dryad.dryad_channels(workers=2, data_items=1),
+        "toy:racy-counter": toy.racy_counter,
+        "toy:atomic-counter": toy.atomic_counter_assert,
+        "toy:deadlock": toy.lock_order_deadlock,
+        "toy:dekker": toy.dekker,
+        "toy:peterson": toy.peterson,
+        "toy:uaf": toy.use_after_free_toy,
+    }
+    for variant in workstealqueue.VARIANTS:
+        registry[f"wsq:{variant}"] = (
+            lambda v=variant: workstealqueue.work_steal_queue(variant=v)
+        )
+    for variant in ape.VARIANTS:
+        registry[f"ape:{variant}"] = lambda v=variant: ape.ape(variant=v)
+    for variant in dryad.VARIANTS:
+        registry[f"dryad:{variant}"] = lambda v=variant: dryad.dryad_channels(
+            variant=v, workers=2, data_items=1
+        )
+    return registry
+
+
+def resolve_builtin(spec: str) -> Optional[Program]:
+    """Build the built-in program registered under ``spec``, if any."""
+    factory = builtin_registry().get(spec)
+    return factory() if factory is not None else None
+
+
+def find_builtin_by_name(name: str) -> Optional[Program]:
+    """Find a built-in program by its :attr:`Program.name`.
+
+    Trace files record the program display name; when no explicit spec
+    was recorded this recovers the program for replay (display names of
+    the built-ins are unique).
+    """
+    for factory in builtin_registry().values():
+        program = factory()
+        if program.name == name:
+            return program
+    return None

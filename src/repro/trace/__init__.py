@@ -1,0 +1,47 @@
+"""Persistent witness traces: save, replay, minimize, regress.
+
+The trace subsystem turns an in-memory
+:class:`~repro.errors.BugReport` into a durable artifact:
+
+* :mod:`repro.trace.format` -- the versioned ``*.trace.json`` on-disk
+  format with strict schema validation;
+* :mod:`repro.trace.replay` -- deterministic replay with outcome
+  classification (``REPRODUCED`` / ``BUG_CHANGED`` / ``VANISHED`` /
+  ``SCHEDULE_MISMATCH``) and annotated explanations;
+* :mod:`repro.trace.minimize` -- ddmin-style schedule shrinking that
+  never increases steps or preemptions;
+* :mod:`repro.trace.corpus` -- a directory of traces replayed as a
+  regression suite.
+
+See ``docs/trace.md`` for the format specification and workflows.
+"""
+
+from .corpus import CorpusEntry, CorpusReport, TraceCorpus, resolve_trace_program
+from .format import (
+    FORMAT_VERSION,
+    ExpectedBug,
+    ProgramFingerprint,
+    TraceFormatError,
+    TraceRecord,
+)
+from .minimize import MinimizationError, MinimizationResult, minimize_trace
+from .replay import ReplayOutcome, ReplayReport, explain_trace, replay_trace
+
+__all__ = [
+    "CorpusEntry",
+    "CorpusReport",
+    "ExpectedBug",
+    "FORMAT_VERSION",
+    "MinimizationError",
+    "MinimizationResult",
+    "ProgramFingerprint",
+    "ReplayOutcome",
+    "ReplayReport",
+    "TraceCorpus",
+    "TraceFormatError",
+    "TraceRecord",
+    "explain_trace",
+    "minimize_trace",
+    "replay_trace",
+    "resolve_trace_program",
+]

@@ -1,0 +1,220 @@
+"""ddmin-style shrinking of witness schedules.
+
+The paper argues the witness with the fewest preemptions is the
+simplest explanation of a concurrency bug; ICB already returns a
+preemption-minimal witness *for the bound it stopped at*, but the
+schedule can still carry irrelevant prefix work (threads that never
+touch the buggy state) and context switches an exhaustive search kept
+only because they were explored first.  The minimizer shrinks a saved
+trace in two phases, re-validating every candidate by deterministic
+replay (a candidate is kept only if the *same defect* -- the dedup
+signature -- still fires):
+
+1. **Preemption lowering** -- drop or merge the thread run started by
+   each preempting context switch (the drop/merge moves of delta
+   debugging applied to runs rather than steps);
+2. **Prefix shortening** -- classic ddmin chunk removal over runs,
+   then truncation at run boundaries, letting a preemption-free
+   round-robin completion finish the execution (the paper's
+   observation that any state can be driven to completion without
+   further preemptions).
+
+A candidate is adopted only when the engine-reported witness is no
+worse on *both* axes (steps and preemptions) and strictly better on
+one, so minimization can never increase either; the minimized trace's
+expected bug identity follows the new witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.execution import Execution, ExecutionConfig
+from ..core.program import Program
+from ..core.thread import ThreadId
+from ..errors import BugReport, ReproError
+from .format import ExpectedBug, TraceRecord
+from .replay import ReplayOutcome, replay_trace
+
+#: One maximal same-thread block of a schedule.
+Run = Tuple[ThreadId, int]
+
+
+class MinimizationError(ReproError):
+    """The trace to minimize does not reproduce its bug to begin with."""
+
+
+def _to_runs(schedule: Sequence[ThreadId]) -> List[Run]:
+    runs: List[Run] = []
+    for tid in schedule:
+        if runs and runs[-1][0] == tid:
+            runs[-1] = (tid, runs[-1][1] + 1)
+        else:
+            runs.append((tid, 1))
+    return runs
+
+
+def _flatten(runs: Sequence[Run]) -> Tuple[ThreadId, ...]:
+    out: List[ThreadId] = []
+    for tid, count in runs:
+        out.extend([tid] * count)
+    return tuple(out)
+
+
+def _attempt(
+    program: Program,
+    config: ExecutionConfig,
+    prefix: Sequence[ThreadId],
+    expected: ExpectedBug,
+) -> Optional[BugReport]:
+    """Replay a candidate prefix; return the matching bug or ``None``.
+
+    The prefix is replayed strictly (an unknown or disabled thread
+    disqualifies the candidate); if the execution is still running
+    afterwards it is completed round-robin, which adds no preemptions
+    -- this is what makes prefix truncation a sound shrinking move.
+    The returned report is the *engine's* account of the shortened
+    execution, so its schedule and preemption count are ground truth.
+    """
+    execution = Execution(program, config)
+    for tid in prefix:
+        if execution.finished:
+            break
+        if tid not in execution.threads or tid not in execution.enabled_threads():
+            return None
+        execution.execute(tid)
+    if not execution.finished:
+        execution.run_round_robin()
+    for bug in execution.bugs:
+        if expected.matches(bug):
+            return bug
+    return None
+
+
+def _drop_and_merge_candidates(runs: Sequence[Run]) -> Iterator[List[Run]]:
+    """Preemption-lowering moves: drop a run, or merge it backwards
+    into the previous run of the same thread."""
+    for r in range(len(runs) - 1, -1, -1):
+        yield [run for i, run in enumerate(runs) if i != r]
+    for r in range(len(runs) - 1, 0, -1):
+        tid = runs[r][0]
+        for p in range(r - 1, -1, -1):
+            if runs[p][0] == tid:
+                merged = list(runs)
+                moved = merged.pop(r)
+                merged[p] = (tid, merged[p][1] + moved[1])
+                yield merged
+                break
+
+
+def _ddmin_candidates(runs: Sequence[Run]) -> Iterator[List[Run]]:
+    """Classic ddmin over runs: remove chunks of halving size."""
+    n = len(runs)
+    chunk = n // 2
+    while chunk >= 1:
+        for start in range(0, n, chunk):
+            yield list(runs[:start]) + list(runs[start + chunk:])
+        chunk //= 2
+
+
+def _truncation_candidates(runs: Sequence[Run]) -> Iterator[List[Run]]:
+    """Prefix shortening: keep only the first ``k`` runs."""
+    for k in range(1, len(runs)):
+        yield list(runs[:k])
+
+
+@dataclass
+class MinimizationResult:
+    """Original vs. minimized witness sizes, plus the new trace."""
+
+    trace: TraceRecord
+    original_steps: int
+    original_preemptions: int
+    steps: int
+    preemptions: int
+    candidates_tried: int
+    rounds: int
+
+    @property
+    def improved(self) -> bool:
+        return (self.steps, self.preemptions) != (
+            self.original_steps,
+            self.original_preemptions,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"minimized {self.trace.program.name} [{self.trace.bug.kind}]: "
+            f"{self.original_steps} steps / {self.original_preemptions} preemption(s) "
+            f"-> {self.steps} steps / {self.preemptions} preemption(s) "
+            f"({self.candidates_tried} candidate(s), {self.rounds} round(s))"
+        )
+
+
+def minimize_trace(
+    trace: TraceRecord,
+    program: Program,
+    config: Optional[ExecutionConfig] = None,
+    max_candidates: int = 5000,
+) -> MinimizationResult:
+    """Shrink ``trace`` while preserving reproduction of its defect.
+
+    Raises :class:`MinimizationError` when the input trace does not
+    replay as ``REPRODUCED`` in the first place (there is nothing
+    meaningful to preserve).  ``max_candidates`` bounds the total
+    number of validation replays across all rounds.
+    """
+    config = config or trace.config
+    initial = replay_trace(trace, program, config=config)
+    if initial.outcome is not ReplayOutcome.REPRODUCED:
+        raise MinimizationError(
+            f"trace does not reproduce its bug (classified {initial.outcome}); "
+            "refusing to minimize a stale witness"
+        )
+
+    expected = trace.bug
+    best = initial.bug
+    assert best is not None
+    tried = 0
+    rounds = 0
+
+    def better(candidate: BugReport) -> bool:
+        return (
+            candidate.preemptions <= best.preemptions
+            and len(candidate.schedule) <= len(best.schedule)
+            and (
+                candidate.preemptions < best.preemptions
+                or len(candidate.schedule) < len(best.schedule)
+            )
+        )
+
+    phases = (_drop_and_merge_candidates, _ddmin_candidates, _truncation_candidates)
+    for phase in phases:
+        improved = True
+        while improved and tried < max_candidates:
+            improved = False
+            rounds += 1
+            runs = _to_runs(best.schedule)
+            if len(runs) <= 1:
+                break
+            for candidate_runs in phase(runs):
+                if tried >= max_candidates:
+                    break
+                tried += 1
+                candidate = _attempt(program, config, _flatten(candidate_runs), expected)
+                if candidate is not None and better(candidate):
+                    best = candidate
+                    improved = True
+                    break
+
+    minimized = trace.with_witness(best, minimized=True)
+    return MinimizationResult(
+        trace=minimized,
+        original_steps=len(trace.schedule),
+        original_preemptions=trace.preemptions,
+        steps=len(best.schedule),
+        preemptions=best.preemptions,
+        candidates_tried=tried,
+        rounds=rounds,
+    )

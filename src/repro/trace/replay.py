@@ -1,0 +1,227 @@
+"""Deterministic replay of persisted witness traces.
+
+Replaying a trace re-executes its schedule step by step against a
+fresh :class:`~repro.core.execution.Execution` and classifies what
+happened:
+
+* ``REPRODUCED`` -- the expected bug fired with the identical witness
+  (same :attr:`~repro.errors.BugReport.identity`);
+* ``BUG_CHANGED`` -- a bug fired, but a different defect than the
+  trace recorded (or the same defect with a diverged witness);
+* ``VANISHED`` -- the schedule replayed cleanly but no bug fired: the
+  defect is fixed (or no longer reachable on this witness);
+* ``SCHEDULE_MISMATCH`` -- the program no longer agrees with the
+  recording (structure changed, a scheduled thread is missing or not
+  enabled, the program ends early); the
+  :class:`~repro.errors.ScheduleMismatch` carries the flavor.
+
+Every divergence is *classified*, never an uncaught engine error: a
+stale trace against a mutated program is an expected triage situation,
+not a crash.  Pass ``strict=True`` to raise the mismatch instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.execution import Execution, ExecutionConfig
+from ..core.program import Program
+from ..errors import BugReport, ScheduleMismatch
+from .format import ProgramFingerprint, TraceRecord
+
+
+class ReplayOutcome(enum.Enum):
+    """Classification of one trace replay."""
+
+    REPRODUCED = "reproduced"
+    BUG_CHANGED = "bug-changed"
+    VANISHED = "vanished"
+    SCHEDULE_MISMATCH = "schedule-mismatch"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying one trace, with the replayed execution."""
+
+    outcome: ReplayOutcome
+    trace: TraceRecord
+    #: The bug the replay actually produced, if any.
+    bug: Optional[BugReport] = None
+    #: Populated iff ``outcome`` is ``SCHEDULE_MISMATCH``.
+    mismatch: Optional[ScheduleMismatch] = None
+    #: The replayed execution (absent for pre-replay mismatches such
+    #: as a fingerprint change).
+    execution: Optional[Execution] = None
+    #: How many schedule steps replayed before stopping.
+    steps_replayed: int = 0
+
+    @property
+    def reproduced(self) -> bool:
+        return self.outcome is ReplayOutcome.REPRODUCED
+
+    def describe(self) -> str:
+        """One-paragraph human-readable classification."""
+        lines = [f"replay: {self.outcome}", f"  {self.trace.summary()}"]
+        if self.mismatch is not None:
+            lines.append(f"  {self.mismatch.describe()}")
+        if self.outcome is ReplayOutcome.BUG_CHANGED and self.bug is not None:
+            lines.append(f"  observed instead: {self.bug}")
+        if self.outcome is ReplayOutcome.VANISHED:
+            lines.append(
+                f"  schedule replayed all {self.steps_replayed} step(s) without a bug"
+            )
+        return "\n".join(lines)
+
+    def explain(self) -> str:
+        """The annotated step-by-step trace (preempting steps ``*``).
+
+        The same rendering :meth:`repro.chess.ChessChecker.explain`
+        produces, but driven from the persisted schedule, so it works
+        on any saved trace -- including one streamed out of a parallel
+        worker in another process.
+        """
+        parts = [self.describe()]
+        if self.bug is not None:
+            parts.append(self.bug.describe())
+        if self.execution is not None:
+            parts.append("trace (preempting steps marked *):")
+            parts.append(self.execution.describe_trace())
+        return "\n".join(parts)
+
+
+def replay_trace(
+    trace: TraceRecord,
+    program: Program,
+    config: Optional[ExecutionConfig] = None,
+    check_fingerprint: bool = True,
+    strict: bool = False,
+) -> ReplayReport:
+    """Replay ``trace`` against ``program`` and classify the outcome.
+
+    ``config`` overrides the trace's recorded execution config (e.g.
+    to attach monitors, which are code and therefore not persisted);
+    by default the recorded config is rebuilt, so a race bug found
+    under vector clocks replays under vector clocks.
+
+    With ``strict`` a divergence raises the
+    :class:`~repro.errors.ScheduleMismatch` instead of returning a
+    ``SCHEDULE_MISMATCH`` report.
+    """
+    if check_fingerprint:
+        actual = ProgramFingerprint.of(program)
+        if actual.structure != trace.program.structure:
+            mismatch = ScheduleMismatch(
+                "fingerprint",
+                f"program structure changed: trace was recorded against "
+                f"{trace.program.name!r} (structure {trace.program.structure}), "
+                f"got {actual.name!r} (structure {actual.structure})",
+            )
+            if strict:
+                raise mismatch
+            return ReplayReport(ReplayOutcome.SCHEDULE_MISMATCH, trace, mismatch=mismatch)
+
+    execution = Execution(program, config or trace.config)
+    steps = 0
+    for index, tid in enumerate(trace.schedule):
+        if execution.finished:
+            if execution.failed:
+                break  # A bug fired earlier than recorded; classify below.
+            mismatch = ScheduleMismatch(
+                "early-termination",
+                f"program terminated after {steps} step(s) but the schedule "
+                f"has {len(trace.schedule)}",
+                step_index=index,
+                scheduled=tid.path,
+            )
+            if strict:
+                raise mismatch
+            return ReplayReport(
+                ReplayOutcome.SCHEDULE_MISMATCH,
+                trace,
+                mismatch=mismatch,
+                execution=execution,
+                steps_replayed=steps,
+            )
+        if tid not in execution.threads:
+            mismatch = ScheduleMismatch(
+                "unknown-thread",
+                f"schedule step {index} runs thread {tid} which the program "
+                "never created",
+                step_index=index,
+                scheduled=tid.path,
+                enabled=tuple(t.path for t in execution.enabled_threads()),
+            )
+            if strict:
+                raise mismatch
+            return ReplayReport(
+                ReplayOutcome.SCHEDULE_MISMATCH,
+                trace,
+                mismatch=mismatch,
+                execution=execution,
+                steps_replayed=steps,
+            )
+        enabled = execution.enabled_threads()
+        if tid not in enabled:
+            mismatch = ScheduleMismatch(
+                "not-enabled",
+                f"schedule step {index} runs thread {tid}, which is not "
+                f"enabled here (enabled: {', '.join(map(str, enabled)) or 'none'})",
+                step_index=index,
+                scheduled=tid.path,
+                enabled=tuple(t.path for t in enabled),
+            )
+            if strict:
+                raise mismatch
+            return ReplayReport(
+                ReplayOutcome.SCHEDULE_MISMATCH,
+                trace,
+                mismatch=mismatch,
+                execution=execution,
+                steps_replayed=steps,
+            )
+        execution.execute(tid)
+        steps += 1
+
+    return _classify(trace, execution, steps)
+
+
+def _classify(trace: TraceRecord, execution: Execution, steps: int) -> ReplayReport:
+    """Compare what the replay produced against the expected bug."""
+    same_defect = next(
+        (bug for bug in execution.bugs if trace.bug.matches(bug)), None
+    )
+    if same_defect is not None:
+        if same_defect.identity == trace.identity:
+            outcome = ReplayOutcome.REPRODUCED
+        else:
+            # Same defect, diverged witness (it fired at a different
+            # point than the recording) -- the bug moved under us.
+            outcome = ReplayOutcome.BUG_CHANGED
+        return ReplayReport(
+            outcome, trace, bug=same_defect, execution=execution, steps_replayed=steps
+        )
+    if execution.bugs:
+        return ReplayReport(
+            ReplayOutcome.BUG_CHANGED,
+            trace,
+            bug=execution.bugs[0],
+            execution=execution,
+            steps_replayed=steps,
+        )
+    return ReplayReport(
+        ReplayOutcome.VANISHED, trace, execution=execution, steps_replayed=steps
+    )
+
+
+def explain_trace(
+    trace: TraceRecord,
+    program: Program,
+    config: Optional[ExecutionConfig] = None,
+) -> str:
+    """Replay and render the annotated explanation in one call."""
+    return replay_trace(trace, program, config=config).explain()

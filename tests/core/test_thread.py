@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.thread import ThreadHandle, ThreadId, ThreadState, ThreadStatus
 from repro.core.sync import Event
 from repro.core.world import World
@@ -34,6 +36,35 @@ class TestThreadId:
 
     def test_repr(self):
         assert "ThreadId" in repr(ThreadId((0,), "t"))
+
+
+class TestThreadIdFromPath:
+    """Round-tripping identities through serialized forms."""
+
+    def test_from_sequence(self):
+        assert ThreadId.from_path([0, 2, 1]) == ThreadId((0, 2, 1))
+        assert ThreadId.from_path((3,), "main").label == "main"
+
+    def test_from_dotted_string(self):
+        assert ThreadId.from_path("0.2.1") == ThreadId((0, 2, 1))
+        assert ThreadId.from_path("4") == ThreadId((4,))
+
+    def test_dotted_rendering_round_trips(self):
+        original = ThreadId((1, 0, 2))
+        dotted = ".".join(map(str, original.path))
+        assert ThreadId.from_path(dotted) == original
+
+    def test_label_preserved_but_ignored_for_identity(self):
+        rebuilt = ThreadId.from_path("0.1", "worker")
+        assert rebuilt.label == "worker"
+        assert rebuilt == ThreadId((0, 1), "other")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "  ", "a.b", "0..1", "-1", [0, -1], [], [0, "x"], [True]]
+    )
+    def test_malformed_paths_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ThreadId.from_path(bad)
 
 
 class TestThreadHandle:

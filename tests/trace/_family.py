@@ -1,0 +1,77 @@
+"""A family of deliberate mutations around one buggy base program.
+
+The trace tests record one witness (the ``base`` variant's lost-update
+assertion, one preemption) and replay it against mutated siblings.
+Each mutation is chosen to hit exactly one replay classification:
+
+``fixed``
+    Same thread structure and step alignment, but the assertion is
+    removed: the schedule replays fully and the bug ``VANISHED``.
+``racy``
+    Workers additionally touch an unsynchronized data variable inside
+    the same big step (the sync-only policy batches data accesses, so
+    step alignment is preserved): a ``DATA_RACE`` fires mid-replay
+    instead of the recorded assertion -- ``BUG_CHANGED``.
+``locked``
+    The read-modify-write is wrapped in a mutex (changed sync ops):
+    the first worker's recorded step now acquires the lock, so the
+    preempted-to worker is blocked where the recording says it ran --
+    ``SCHEDULE_MISMATCH`` flavor ``not-enabled``.
+``truncated``
+    Main no longer reads or asserts the total, so the program
+    terminates while the schedule still has steps --
+    ``SCHEDULE_MISMATCH`` flavor ``early-termination``.
+``extra-thread``
+    An extra root thread changes the program fingerprint --
+    ``SCHEDULE_MISMATCH`` flavor ``fingerprint`` before any step runs.
+"""
+
+from __future__ import annotations
+
+from repro import Program, check
+from repro.core.effects import join, sched_yield, spawn
+
+VARIANTS = ("base", "fixed", "racy", "locked", "truncated", "extra-thread")
+
+
+def family(variant: str = "base") -> Program:
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    def setup(w):
+        counter = w.atomic("counter", 0)
+        gate = w.mutex("gate")
+        scratch = w.var("scratch", 0)
+
+        def worker():
+            if variant == "locked":
+                yield gate.acquire()
+            value = yield counter.read()
+            if variant == "racy":
+                seen = yield scratch.read()
+                yield scratch.write(seen + 1)
+            yield counter.write(value + 1)
+            if variant == "locked":
+                yield gate.release()
+
+        def main():
+            first = yield spawn(worker, name="w0")
+            second = yield spawn(worker, name="w1")
+            yield join(first)
+            if variant == "truncated":
+                return  # never joins w1, reads or asserts: ends early
+            yield join(second)
+            total = yield counter.read()
+            if variant != "fixed":
+                check(total == 2, "lost update")
+
+        threads = {"main": main}
+        if variant == "extra-thread":
+
+            def bystander():
+                yield sched_yield()
+
+            threads["bystander"] = bystander
+        return threads
+
+    return Program("trace-family", setup)

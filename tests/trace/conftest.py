@@ -1,0 +1,24 @@
+"""Fixtures shared by the trace-subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker
+from repro.trace.format import TraceRecord
+
+from ._family import family
+
+
+@pytest.fixture(scope="session")
+def base_trace() -> TraceRecord:
+    """The recorded witness every mutation test replays.
+
+    Session-scoped: :class:`TraceRecord` is immutable, and finding the
+    bug once keeps the mutation matrix cheap.
+    """
+    program = family("base")
+    checker = ChessChecker(program)
+    bug = checker.find_bug(max_bound=2)
+    assert bug is not None and bug.preemptions == 1
+    return TraceRecord.from_bug(program, checker.config, bug)

@@ -1,0 +1,235 @@
+"""The versioned trace schema: lossless round-trips, strict validation."""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.core.execution import ExecutionConfig, RaceDetection, SchedulingPolicy
+from repro.core.thread import ThreadId
+from repro.errors import BugKind
+from repro.trace.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    TRACE_SUFFIX,
+    ExpectedBug,
+    ProgramFingerprint,
+    TraceFormatError,
+    TraceRecord,
+    config_from_json,
+    config_to_json,
+    sequence_to_schedule,
+)
+
+from ._family import family
+
+
+def handmade(name: str = "hand-made", **overrides) -> TraceRecord:
+    """A small fully-synthetic record for schema-level tests."""
+    record = TraceRecord(
+        program=ProgramFingerprint(name=name, structure="0" * 16),
+        config=ExecutionConfig(),
+        schedule=(
+            ThreadId.from_path((0,), "main"),
+            ThreadId.from_path((0, 1), "w1"),
+            ThreadId.from_path((0, 0), "w0"),
+            ThreadId.from_path((0,), "main"),
+        ),
+        preemptions=1,
+        bug=ExpectedBug(
+            kind=BugKind.ASSERTION, message="boom", thread=(0,), step_index=3
+        ),
+    )
+    return dataclasses.replace(record, **overrides) if overrides else record
+
+
+class TestRoundTrip:
+    def test_synthetic_record_survives_dumps_loads(self):
+        record = handmade(spec="pkg.mod:factory", minimized=True)
+        loaded = TraceRecord.loads(record.dumps())
+        assert loaded == record
+        assert loaded.spec == "pkg.mod:factory"
+        assert loaded.minimized
+
+    def test_thread_labels_survive(self):
+        # ThreadId equality ignores labels, so check them explicitly:
+        # the format must be lossless, not merely identity-preserving.
+        loaded = TraceRecord.loads(handmade().dumps())
+        assert [t.label for t in loaded.schedule] == ["main", "w1", "w0", "main"]
+        assert [t.path for t in loaded.schedule] == [(0,), (0, 1), (0, 0), (0,)]
+
+    def test_found_bug_survives_dumps_loads(self, base_trace):
+        loaded = TraceRecord.loads(base_trace.dumps())
+        assert loaded == base_trace
+        assert loaded.identity == base_trace.identity
+        assert loaded.config == base_trace.config
+        assert [t.label for t in loaded.schedule] == [
+            t.label for t in base_trace.schedule
+        ]
+
+    def test_non_default_config_round_trips(self):
+        config = ExecutionConfig(
+            policy=SchedulingPolicy.EVERY_ACCESS,
+            race_detection=RaceDetection.NONE,
+            strict_races=True,
+            races_are_fatal=False,
+            deadlock_is_bug=False,
+            max_accesses_per_step=7,
+            free_conflicts=not ExecutionConfig().free_conflicts,
+        )
+        assert config_from_json(config_to_json(config)) == config
+
+    def test_fingerprint_is_stable_and_structure_sensitive(self):
+        assert ProgramFingerprint.of(family("base")) == ProgramFingerprint.of(
+            family("fixed")
+        )
+        base = ProgramFingerprint.of(family("base"))
+        extra = ProgramFingerprint.of(family("extra-thread"))
+        assert base.name == extra.name and base.structure != extra.structure
+
+
+class TestIdentityAndFilenames:
+    def test_identity_mirrors_bug_report(self, base_trace):
+        assert base_trace.identity == (
+            base_trace.bug.kind,
+            tuple(t.path for t in base_trace.schedule),
+        )
+
+    def test_digest_depends_on_witness(self):
+        record = handmade()
+        shifted = dataclasses.replace(
+            record, schedule=record.schedule + (ThreadId.from_path((0,)),)
+        )
+        assert record.digest() != shifted.digest()
+        assert record.digest() == handmade().digest()
+
+    def test_default_filename_is_sanitized(self):
+        name = handmade(
+            program=ProgramFingerprint(name="we ird/name", structure="0" * 16)
+        ).default_filename()
+        assert name.endswith(TRACE_SUFFIX)
+        assert "/" not in name and " " not in name
+
+    def test_summary_tags_minimized(self):
+        assert "(minimized)" in handmade(minimized=True).summary()
+        assert "(minimized)" not in handmade().summary()
+
+
+class TestSaveLoad:
+    def test_save_to_directory_uses_default_filename(self, tmp_path):
+        record = handmade()
+        path = record.save(tmp_path)
+        assert path.parent == tmp_path and path.name == record.default_filename()
+        assert TraceRecord.load(path) == record
+
+    def test_resaving_overwrites(self, tmp_path):
+        record = handmade()
+        first = record.save(tmp_path)
+        second = record.save(tmp_path)
+        assert first == second
+        assert list(tmp_path.iterdir()) == [first]
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.trace.json"
+        assert handmade().save(target) == target and target.exists()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            TraceRecord.load(tmp_path / "absent.trace.json")
+
+
+def _set(*keys):
+    """Mutator assigning a value at a (possibly nested) key path."""
+
+    def apply(data, value):
+        for key in keys[:-1]:
+            data = data[key]
+        data[keys[-1]] = value
+
+    return apply
+
+
+def _drop(key):
+    def apply(data, _value):
+        del data[key]
+
+    return apply
+
+
+CORRUPTIONS = [
+    ("not-json", None, None),
+    ("missing-format", _drop("format"), None),
+    ("wrong-format", _set("format"), "other-tool"),
+    ("future-version", _set("version"), FORMAT_VERSION + 1),
+    ("bool-version", _set("version"), True),
+    ("missing-program", _drop("program"), None),
+    ("program-name-type", _set("program", "name"), 7),
+    ("missing-config", _drop("config"), None),
+    ("unknown-policy", _set("config", "policy"), "nonsense"),
+    ("unknown-race-detection", _set("config", "race_detection"), "psychic"),
+    ("config-scalar-type", _set("config", "races_are_fatal"), "yes"),
+    ("threads-not-list", _set("threads"), {}),
+    ("thread-entry-not-object", _set("threads"), [7]),
+    ("thread-path-negative", _set("threads"), [{"path": [-1], "label": ""}]),
+    ("thread-path-empty", _set("threads"), [{"path": [], "label": ""}]),
+    ("thread-label-type", _set("threads"), [{"path": [0], "label": 3}]),
+    ("schedule-index-out-of-range", _set("schedule"), [99]),
+    ("schedule-bool-index", _set("schedule"), [True]),
+    ("schedule-not-list", _set("schedule"), "0123"),
+    ("negative-preemptions", _set("preemptions"), -1),
+    ("missing-bug", _drop("bug"), None),
+    ("unknown-bug-kind", _set("bug", "kind"), "gremlin"),
+    ("bug-message-type", _set("bug", "message"), None),
+    ("bug-thread-malformed", _set("bug", "thread"), ["x"]),
+    ("spec-type", _set("spec"), 5),
+    ("minimized-type", _set("minimized"), "yes"),
+]
+
+
+class TestStrictValidation:
+    def test_reference_document_is_valid(self):
+        # Guard: the corruption matrix below mutates a valid document.
+        assert TraceRecord.from_json(handmade().to_json()) == handmade()
+
+    @pytest.mark.parametrize(
+        "mutate,value", [c[1:] for c in CORRUPTIONS], ids=[c[0] for c in CORRUPTIONS]
+    )
+    def test_malformed_documents_rejected(self, mutate, value):
+        if mutate is None:
+            with pytest.raises(TraceFormatError, match="not valid JSON"):
+                TraceRecord.loads("{broken")
+            return
+        data = copy.deepcopy(handmade().to_json())
+        mutate(data, value)
+        with pytest.raises(TraceFormatError):
+            TraceRecord.from_json(data)
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(TraceFormatError, match="JSON object"):
+            TraceRecord.from_json([1, 2, 3])
+
+    def test_format_constants_in_document(self):
+        data = handmade().to_json()
+        assert data["format"] == FORMAT_NAME
+        assert data["version"] == FORMAT_VERSION
+
+
+class TestHelpers:
+    def test_sequence_to_schedule(self):
+        schedule = sequence_to_schedule([(0,), (0, 1)])
+        assert schedule == (ThreadId((0,)), ThreadId((0, 1)))
+
+    def test_expected_bug_matches_is_signature_level(self, base_trace):
+        from repro.errors import BugReport
+
+        witness = BugReport(
+            kind=base_trace.bug.kind,
+            message=base_trace.bug.message,
+            thread=ThreadId.from_path(base_trace.bug.thread),
+            schedule=(),  # a different witness of the same defect
+        )
+        assert base_trace.bug.matches(witness)
+        other = dataclasses.replace(witness, message="different defect")
+        assert not base_trace.bug.matches(other)

@@ -1,0 +1,106 @@
+"""Schedule minimization: shrinks, never regresses, still reproduces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker
+from repro.core.execution import Execution, ExecutionConfig
+from repro.trace.format import TraceRecord
+from repro.trace.minimize import MinimizationError, minimize_trace
+from repro.trace.replay import ReplayOutcome, replay_trace
+
+from ._family import family
+
+
+def inflated_trace():
+    """A deliberately wasteful witness of the family's lost update.
+
+    The hand-driven schedule ping-pongs between the workers (two
+    preemptions) where one suffices; the engine's own account of the
+    execution keeps the record consistent with what actually ran.
+    """
+    program = family("base")
+    execution = Execution(program, ExecutionConfig())
+    main = next(iter(execution.threads))
+    for _ in range(3):  # start, spawn w0, spawn w1
+        execution.execute(main)
+    w0, w1 = sorted(t for t in execution.threads if t != main)
+    pingpong = (w0, w0, w1, w1, w0, w0, w1, w1)  # start+read / write+exit
+    for tid in pingpong + (main, main, main):  # join, join, failing read
+        execution.execute(tid)
+    assert execution.failed, "the inflated schedule must still expose the bug"
+    bug = execution.bugs[0]
+    assert bug.preemptions == 2
+    return TraceRecord.from_bug(program, ExecutionConfig(), bug)
+
+
+class TestShrinking:
+    def test_preemption_lowering_reaches_the_minimum(self):
+        trace = inflated_trace()
+        result = minimize_trace(trace, family("base"))
+        assert result.original_preemptions == 2
+        assert result.preemptions == 1  # round-robin passes, so 1 is minimal
+        assert result.steps <= result.original_steps
+        assert result.improved
+        assert result.trace.minimized
+
+    def test_minimized_trace_still_reproduces(self):
+        result = minimize_trace(inflated_trace(), family("base"))
+        report = replay_trace(result.trace, family("base"))
+        assert report.outcome is ReplayOutcome.REPRODUCED
+        assert report.bug.identity == result.trace.identity
+
+    def test_identity_follows_the_new_witness(self):
+        trace = inflated_trace()
+        result = minimize_trace(trace, family("base"))
+        assert result.trace.identity != trace.identity
+        assert result.trace.bug.kind is trace.bug.kind
+        assert result.trace.bug.message == trace.bug.message
+
+    def test_bluetooth_witness_shrinks(self):
+        from repro.programs.bluetooth import bluetooth
+
+        program = bluetooth(buggy=True)
+        checker = ChessChecker(program)
+        bug = checker.find_bug(max_bound=2)
+        trace = TraceRecord.from_bug(program, checker.config, bug)
+        result = minimize_trace(trace, bluetooth(buggy=True))
+        assert result.steps <= result.original_steps
+        assert result.preemptions <= result.original_preemptions
+        assert result.improved  # the ICB witness carries droppable prefix work
+        report = replay_trace(result.trace, bluetooth(buggy=True))
+        assert report.outcome is ReplayOutcome.REPRODUCED
+
+
+class TestGuarantees:
+    def test_never_worse_even_with_no_budget(self, base_trace):
+        result = minimize_trace(base_trace, family("base"), max_candidates=0)
+        assert result.candidates_tried == 0
+        assert result.steps == result.original_steps
+        assert result.preemptions == result.original_preemptions
+        assert result.trace.minimized
+
+    def test_already_minimal_witness_stays_put(self, base_trace):
+        result = minimize_trace(base_trace, family("base"))
+        assert result.preemptions <= base_trace.preemptions
+        assert result.steps <= len(base_trace.schedule)
+        report = replay_trace(result.trace, family("base"))
+        assert report.outcome is ReplayOutcome.REPRODUCED
+
+    def test_summary_reports_before_and_after(self):
+        result = minimize_trace(inflated_trace(), family("base"))
+        summary = result.summary()
+        assert "->" in summary
+        assert str(result.original_steps) in summary
+        assert str(result.preemptions) in summary
+
+
+class TestRefusals:
+    def test_vanished_trace_refused(self, base_trace):
+        with pytest.raises(MinimizationError, match="refusing to minimize"):
+            minimize_trace(base_trace, family("fixed"))
+
+    def test_mismatched_program_refused(self, base_trace):
+        with pytest.raises(MinimizationError):
+            minimize_trace(base_trace, family("extra-thread"))

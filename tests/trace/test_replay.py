@@ -1,0 +1,118 @@
+"""Replay classification: one test per outcome and mismatch flavor.
+
+Satellite of the trace subsystem's contract: replaying a stale trace
+against a mutated program (extra thread, reordered/extra accesses,
+changed sync ops, removed code) must classify cleanly -- never crash
+out of the engine -- and ``strict=True`` turns the classification into
+a raised :class:`~repro.errors.ScheduleMismatch`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.thread import ThreadId
+from repro.errors import BugKind, ScheduleMismatch
+from repro.trace.replay import ReplayOutcome, explain_trace, replay_trace
+
+from ._family import family
+
+
+class TestReproduced:
+    def test_same_program_reproduces(self, base_trace):
+        report = replay_trace(base_trace, family("base"))
+        assert report.outcome is ReplayOutcome.REPRODUCED
+        assert report.reproduced
+        assert report.bug is not None
+        assert report.bug.identity == base_trace.identity
+        assert report.steps_replayed == len(base_trace.schedule)
+        assert report.mismatch is None
+
+    def test_explain_renders_annotated_trace(self, base_trace):
+        text = explain_trace(base_trace, family("base"))
+        assert "replay: reproduced" in text
+        assert "trace (preempting steps marked *):" in text
+        assert "lost update" in text
+
+
+class TestVanished:
+    def test_fixed_program_vanishes(self, base_trace):
+        report = replay_trace(base_trace, family("fixed"))
+        assert report.outcome is ReplayOutcome.VANISHED
+        assert not report.reproduced
+        assert report.bug is None
+        assert "without a bug" in report.describe()
+
+
+class TestBugChanged:
+    def test_new_race_reported_instead(self, base_trace):
+        # Extra unsynchronized data accesses keep the step alignment
+        # (sync-only big steps) but fire a data race mid-replay.
+        report = replay_trace(base_trace, family("racy"))
+        assert report.outcome is ReplayOutcome.BUG_CHANGED
+        assert report.bug is not None
+        assert report.bug.kind is BugKind.DATA_RACE
+        assert "observed instead" in report.describe()
+
+
+class TestScheduleMismatch:
+    def test_extra_thread_changes_fingerprint(self, base_trace):
+        report = replay_trace(base_trace, family("extra-thread"))
+        assert report.outcome is ReplayOutcome.SCHEDULE_MISMATCH
+        assert report.mismatch is not None
+        assert report.mismatch.flavor == "fingerprint"
+        assert report.execution is None  # detected before any step ran
+        assert "structure changed" in report.mismatch.describe()
+
+    def test_unknown_thread(self, base_trace):
+        tampered = dataclasses.replace(
+            base_trace, schedule=(ThreadId((9,)),) + base_trace.schedule
+        )
+        report = replay_trace(tampered, family("base"))
+        assert report.outcome is ReplayOutcome.SCHEDULE_MISMATCH
+        assert report.mismatch.flavor == "unknown-thread"
+        assert report.mismatch.step_index == 0
+        assert report.mismatch.scheduled == (9,)
+
+    def test_changed_sync_ops_leave_thread_not_enabled(self, base_trace):
+        # Wrapping the read-modify-write in a mutex means the recorded
+        # preemption lands while the sibling worker holds the lock.
+        report = replay_trace(base_trace, family("locked"))
+        assert report.outcome is ReplayOutcome.SCHEDULE_MISMATCH
+        assert report.mismatch.flavor == "not-enabled"
+        assert report.mismatch.step_index >= 0
+        assert report.mismatch.scheduled is not None
+        assert report.mismatch.scheduled not in report.mismatch.enabled
+        assert f"at step {report.mismatch.step_index}" in report.mismatch.describe()
+
+    def test_early_termination(self, base_trace):
+        report = replay_trace(base_trace, family("truncated"))
+        assert report.outcome is ReplayOutcome.SCHEDULE_MISMATCH
+        assert report.mismatch.flavor == "early-termination"
+        assert report.steps_replayed < len(base_trace.schedule)
+
+    @pytest.mark.parametrize("variant", ["extra-thread", "locked", "truncated"])
+    def test_strict_raises_instead_of_classifying(self, base_trace, variant):
+        with pytest.raises(ScheduleMismatch):
+            replay_trace(base_trace, family(variant), strict=True)
+
+    def test_strict_unknown_thread_raises(self, base_trace):
+        tampered = dataclasses.replace(
+            base_trace, schedule=(ThreadId((9,)),) + base_trace.schedule
+        )
+        with pytest.raises(ScheduleMismatch) as exc:
+            replay_trace(tampered, family("base"), strict=True)
+        assert exc.value.flavor == "unknown-thread"
+
+    def test_fingerprint_check_can_be_skipped(self, base_trace):
+        # The extra root thread never needs to run: with the structure
+        # check disabled the old witness still drives the bug home.
+        report = replay_trace(base_trace, family("extra-thread"), check_fingerprint=False)
+        assert report.outcome is ReplayOutcome.REPRODUCED
+
+    def test_mismatch_report_still_explains(self, base_trace):
+        text = replay_trace(base_trace, family("locked")).explain()
+        assert "schedule mismatch (not-enabled)" in text
+        assert "trace (preempting steps marked *):" in text  # partial replay shown

@@ -1,0 +1,106 @@
+"""The acceptance property: find -> save -> reload -> REPRODUCED.
+
+Every built-in buggy benchmark round-trips through the on-disk format:
+the reloaded trace replays to ``REPRODUCED`` with a
+:attr:`~repro.errors.BugReport.identity` identical to the bug the
+search found.  A guard test pins the benchmark list to the registry so
+a newly added buggy built-in cannot silently dodge the property, and
+one test drives the CLI in a fresh interpreter to prove the round trip
+crosses process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import ChessChecker, SearchLimits
+from repro.programs import builtin_registry, resolve_builtin
+from repro.trace.corpus import resolve_trace_program
+from repro.trace.format import TraceRecord
+from repro.trace.replay import ReplayOutcome, replay_trace
+
+#: Every buggy built-in, mapped to a bound sufficient for its Table-2
+#: defect (mirrors tests/programs/test_benchmarks.py).
+BUGGY_BOUNDS = {
+    "bluetooth": 2,
+    "wsq:pop-race": 2,
+    "wsq:steal-stale-tail": 2,
+    "wsq:pop-lost-restore": 1,
+    "ape:init-race": 0,
+    "ape:early-return": 0,
+    "ape:stats-race": 1,
+    "ape:double-take": 2,
+    "dryad:missing-handler": 0,
+    "dryad:use-after-free": 1,
+    "dryad:refcount-race": 1,
+    "dryad:close-sem-race": 1,
+    "dryad:double-free": 1,
+    "toy:racy-counter": 0,
+    "toy:atomic-counter": 1,
+    "toy:deadlock": 1,
+    "toy:uaf": 0,
+}
+
+#: Built-ins expected to be correct (certified, not round-tripped).
+CORRECT = {
+    "bluetooth:fixed",
+    "filesystem",
+    "wsq",
+    "ape",
+    "dryad",
+    "toy:dekker",
+    "toy:peterson",
+}
+
+
+def test_every_builtin_is_classified():
+    # If this fails, a new built-in was added: give it a round-trip
+    # entry in BUGGY_BOUNDS or declare it CORRECT.
+    assert set(builtin_registry()) == set(BUGGY_BOUNDS) | CORRECT
+
+
+@pytest.mark.parametrize("spec", sorted(BUGGY_BOUNDS))
+def test_round_trip_reproduces_with_identical_identity(spec, tmp_path):
+    program = resolve_builtin(spec)
+    checker = ChessChecker(program)
+    bug = checker.find_bug(
+        max_bound=BUGGY_BOUNDS[spec], limits=SearchLimits(max_seconds=300)
+    )
+    assert bug is not None, spec
+
+    trace = TraceRecord.from_bug(program, checker.config, bug, spec=spec)
+    path = trace.save(tmp_path)
+    loaded = TraceRecord.load(path)
+    assert loaded == trace
+
+    report = replay_trace(loaded, resolve_trace_program(loaded))
+    assert report.outcome is ReplayOutcome.REPRODUCED, (spec, report.describe())
+    assert report.bug.identity == bug.identity
+    assert report.bug.identity == loaded.identity
+    assert report.bug.preemptions == bug.preemptions
+
+
+def test_round_trip_crosses_process_boundaries(tmp_path):
+    program = resolve_builtin("bluetooth")
+    checker = ChessChecker(program)
+    bug = checker.find_bug(max_bound=2)
+    path = TraceRecord.from_bug(
+        program, checker.config, bug, spec="bluetooth"
+    ).save(tmp_path)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", "replay", str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "replay: reproduced" in proc.stdout
