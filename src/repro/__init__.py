@@ -41,6 +41,8 @@ Package layout:
 * :mod:`repro.programs` -- the paper's benchmark programs.
 * :mod:`repro.trace` -- persistent witness traces: deterministic
   replay, schedule minimization, and the bug-corpus regression runner.
+* :mod:`repro.obs` -- opt-in instrumentation: event stream, metrics,
+  live progress, phase profiling (see ``docs/observability.md``).
 * :mod:`repro.experiments` -- drivers regenerating every table and
   figure of the evaluation.
 """
@@ -60,6 +62,7 @@ from .core.transition import ProgramStateSpace, StateSpace
 from .core.world import World
 from .errors import BugKind, BugReport, ReproError, ScheduleMismatch
 from .monitors.monitor import FinalStateMonitor, InvariantMonitor, Monitor, monitor_factory
+from .obs import Instrumentation, MetricsSnapshot
 from .parallel import ParallelCoordinator, ParallelSettings, WorkItem
 from .trace import (
     MinimizationResult,
@@ -99,9 +102,11 @@ __all__ = [
     "Execution",
     "ExecutionConfig",
     "FinalStateMonitor",
+    "Instrumentation",
     "InvariantMonitor",
     "IterativeContextBounding",
     "IterativeDeepening",
+    "MetricsSnapshot",
     "MinimizationResult",
     "Monitor",
     "PCTScheduler",

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..obs.instrument import Instrumentation
     from ..parallel.coordinator import ParallelSettings
 
 from ..core.execution import Execution, ExecutionConfig
@@ -91,9 +92,9 @@ class ChessChecker:
 
     # -- state-space construction -----------------------------------------
 
-    def space(self) -> ProgramStateSpace:
+    def space(self, obs: Optional["Instrumentation"] = None) -> ProgramStateSpace:
         """A fresh replay-based state space for this program."""
-        return ProgramStateSpace(self.program, self.config)
+        return ProgramStateSpace(self.program, self.config, obs=obs)
 
     # -- checking entry points -----------------------------------------------
 
@@ -107,6 +108,7 @@ class ChessChecker:
         parallel_settings: Optional["ParallelSettings"] = None,
         trace_dir: Optional[Union[str, pathlib.Path]] = None,
         trace_spec: Optional[str] = None,
+        obs: Optional["Instrumentation"] = None,
     ) -> CheckResult:
         """Explore the program; by default with ICB until exhaustion.
 
@@ -134,6 +136,10 @@ class ChessChecker:
             trace_spec: optional program spec (e.g. ``wsq:pop-race``)
                 recorded in saved traces so ``corpus run`` can rebuild
                 the program later.
+            obs: optional :class:`~repro.obs.Instrumentation`; events,
+                metrics and phase timings flow through it (see
+                ``docs/observability.md``).  Under ``workers`` the
+                coordinator merges per-worker metric snapshots into it.
         """
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
@@ -155,6 +161,7 @@ class ChessChecker:
                 settings=parallel_settings,
                 trace_dir=trace_dir,
                 trace_spec=trace_spec,
+                obs=obs,
             )
             result = coordinator.run(limits=limits)
             check_result = CheckResult(
@@ -171,7 +178,7 @@ class ChessChecker:
             )
         elif max_bound is not None:
             raise ValueError("pass max_bound only when using the default strategy")
-        result = strategy.run(self.space(), limits=limits)
+        result = strategy.run(self.space(obs=obs), limits=limits, obs=obs)
         certified = result.extras.get("completed_bound")
         if certified is None and result.completed:
             # Non-ICB strategies that exhausted the space certify all bounds.
@@ -188,8 +195,10 @@ class ChessChecker:
         max_bound: Optional[int] = None,
         limits: Optional[SearchLimits] = None,
         workers: Optional[int] = None,
+        parallel_settings: Optional["ParallelSettings"] = None,
         trace_dir: Optional[Union[str, pathlib.Path]] = None,
         trace_spec: Optional[str] = None,
+        obs: Optional["Instrumentation"] = None,
     ) -> Optional[BugReport]:
         """Run ICB until the first bug; its witness is preemption-minimal.
 
@@ -206,8 +215,10 @@ class ChessChecker:
             max_bound=max_bound,
             limits=limits,
             workers=workers,
+            parallel_settings=parallel_settings,
             trace_dir=trace_dir,
             trace_spec=trace_spec,
+            obs=obs,
         )
         return result.search.first_bug
 

@@ -116,6 +116,101 @@ def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="persist every found bug's witness as a "
                         "*.trace.json file under this directory")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write a repro-metrics JSON snapshot of the run "
+                        "(inspect with `repro stats FILE`)")
+    parser.add_argument("--events-out", default=None, metavar="FILE",
+                        help="write the structured event stream as JSONL "
+                        "(inspect with `repro stats FILE`)")
+    parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="render a live progress line on stderr")
+    parser.add_argument("--progress-interval", type=int, default=None, metavar="N",
+                        help="with --workers: stream worker progress every N "
+                        "transitions (drives heartbeats and global budgets)")
+    parser.add_argument("--profile", action="store_true",
+                        help="time every schedule/execute/fingerprint/"
+                        "race-detect/cache-lookup call and print a phase "
+                        "profile (adds overhead)")
+
+
+def _make_obs(args: argparse.Namespace, limits: SearchLimits):
+    """Build an Instrumentation from the observability flags, or None
+    when no flag asks for one (keeping the run entirely uninstrumented)."""
+    wanted = (
+        args.metrics_out or args.events_out or args.progress or args.profile
+    )
+    if not wanted:
+        return None
+    from .obs import EventBus, Instrumentation, JsonlEventSink, LiveProgressSink
+
+    bus = EventBus()
+    if args.events_out:
+        bus.subscribe(JsonlEventSink(args.events_out))
+    if args.progress:
+        bus.subscribe(LiveProgressSink(limits=limits))
+    return Instrumentation(bus=bus, profiling=args.profile)
+
+
+def _finish_obs(args: argparse.Namespace, obs) -> None:
+    """Freeze and persist instrumentation output after a run."""
+    if obs is None:
+        return
+    snapshot = obs.snapshot()
+    obs.close()
+    if args.metrics_out:
+        snapshot.save(args.metrics_out)
+    if args.profile:
+        from .obs import Profiler
+
+        print(Profiler.render(snapshot.profile, snapshot.elapsed), file=sys.stderr)
+
+
+def _parallel_settings(args: argparse.Namespace):
+    if args.progress_interval is None:
+        return None
+    if args.progress_interval < 1:
+        raise SystemExit("--progress-interval must be at least 1")
+    if args.workers is None or args.workers < 2:
+        raise SystemExit("--progress-interval requires --workers 2 or more")
+    from .parallel.coordinator import ParallelSettings
+
+    return ParallelSettings(progress_interval=args.progress_interval)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        MetricsSnapshot,
+        ObsFormatError,
+        render_event_summary,
+        validate_event_log,
+    )
+
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(str(exc))
+    except json.JSONDecodeError:
+        data = None  # multi-line JSONL parses line by line below
+    if isinstance(data, dict) and data.get("format") == "repro-metrics":
+        try:
+            snapshot = MetricsSnapshot.from_dict(data)
+        except ObsFormatError as exc:
+            raise SystemExit(f"bad metrics file: {exc}")
+        print(snapshot.summary())
+        return 0
+    try:
+        events = validate_event_log(args.file)
+    except ObsFormatError as exc:
+        raise SystemExit(
+            f"{args.file} is neither a repro-metrics JSON nor a "
+            f"repro-events JSONL file: {exc}"
+        )
+    print(render_event_summary(events))
+    return 0
 
 
 def _resolve_trace_target(args: argparse.Namespace, trace) -> Program:
@@ -140,7 +235,11 @@ def _cmd_trace_save(args: argparse.Namespace) -> int:
         max_executions=args.executions, max_seconds=args.seconds,
         stop_on_first_bug=True,
     )
-    bug = checker.find_bug(max_bound=args.bound, limits=limits, workers=args.workers)
+    obs = _make_obs(args, limits)
+    bug = checker.find_bug(
+        max_bound=args.bound, limits=limits, workers=args.workers, obs=obs
+    )
+    _finish_obs(args, obs)
     if bug is None:
         print("no bug found; nothing to save")
         return 1
@@ -253,6 +352,11 @@ def main(argv: Optional[list] = None) -> int:
     )
     corpus_run_parser.add_argument("dir", help="directory of *.trace.json files")
 
+    stats_parser = commands.add_parser(
+        "stats", help="summarize a --metrics-out JSON or --events-out JSONL file"
+    )
+    stats_parser.add_argument("file", help="a repro-metrics or repro-events file")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -267,6 +371,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_trace_minimize(args)
     if args.command == "corpus":
         return _cmd_corpus_run(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
 
     program = _resolve_program(args.program)
     checker = ChessChecker(program, _make_config(args))
@@ -280,6 +386,8 @@ def main(argv: Optional[list] = None) -> int:
         raise SystemExit("--workers must be at least 1")
     if args.workers is not None and args.strategy != "icb":
         raise SystemExit("--workers requires the default icb strategy")
+    parallel_settings = _parallel_settings(args)
+    obs = _make_obs(args, limits)
 
     if args.command == "explain":
         from .trace.format import TraceRecord
@@ -287,8 +395,10 @@ def main(argv: Optional[list] = None) -> int:
 
         bug = checker.find_bug(
             max_bound=args.bound, limits=limits, workers=args.workers,
-            trace_dir=args.trace_dir, trace_spec=args.program,
+            parallel_settings=parallel_settings,
+            trace_dir=args.trace_dir, trace_spec=args.program, obs=obs,
         )
+        _finish_obs(args, obs)
         if bug is None:
             print("no bug found")
             return 0
@@ -303,9 +413,12 @@ def main(argv: Optional[list] = None) -> int:
         max_bound=args.bound,
         limits=limits,
         workers=args.workers,
+        parallel_settings=parallel_settings,
         trace_dir=args.trace_dir,
         trace_spec=args.program,
+        obs=obs,
     )
+    _finish_obs(args, obs)
     print(result.summary())
     return 1 if result.found_bug else 0
 

@@ -174,6 +174,10 @@ class Execution:
         self.completed = False
         self.deadlocked = False
 
+        #: Optional Instrumentation, bound by ProgramStateSpace; the
+        #: race-check sites below time and count through it.
+        self.obs = None
+
         self.hb = HBTracker(strict=self.config.strict_races)
         use_gl = self.config.race_detection in (
             RaceDetection.GOLDILOCKS,
@@ -559,26 +563,40 @@ class Execution:
                 # write to each field and let the race detectors flag an
                 # unordered free even when the access executed first.
                 assert isinstance(target, HeapRef)
+                obs = self.obs
                 for fld in target.fields.values():
+                    t0 = obs.race_check_start() if obs is not None else 0.0
+                    found = 0
                     _, races = self.hb.data_access(tid, fld, True)
                     if self._use_vc_races and races:
                         self._note_races(thread, races)
+                        found += len(races)
                     if self.goldilocks is not None:
                         race = self.goldilocks.on_data(tid, fld, True)
                         if race:
                             self._note_races(thread, [race])
+                            found += 1
+                    if obs is not None:
+                        obs.race_checked(found, t0)
             return value, True
 
         if kind in _DATA_KINDS:
             value = target.apply(effect, thread)
             is_write = target.is_write(effect)
+            obs = self.obs
+            t0 = obs.race_check_start() if obs is not None else 0.0
+            found = 0
             clock, races = self.hb.data_access(tid, target, is_write)
             if self._use_vc_races and races:
                 self._note_races(thread, races)
+                found += len(races)
             if self.goldilocks is not None:
                 race = self.goldilocks.on_data(tid, target, is_write)
                 if race:
                     self._note_races(thread, [race])
+                    found += 1
+            if obs is not None:
+                obs.race_checked(found, t0)
             return value, True
 
         value = target.apply(effect, thread)

@@ -13,12 +13,15 @@ realization in :mod:`repro.zing.checker`.
 from __future__ import annotations
 
 import abc
-from typing import Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Hashable, Optional, Tuple
 
 from ..errors import BugReport
 from .execution import Execution, ExecutionConfig, Schedule
 from .program import Program
 from .thread import ThreadId
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..obs.instrument import Instrumentation
 
 
 class StateSpace(abc.ABC):
@@ -85,14 +88,26 @@ class ProgramStateSpace(StateSpace):
     expose the cost of this strategy for the ablation benchmarks.
     """
 
-    def __init__(self, program: Program, config: Optional[ExecutionConfig] = None):
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[ExecutionConfig] = None,
+        obs: Optional["Instrumentation"] = None,
+    ):
         self.program = program
         self.config = config or ExecutionConfig()
+        self.obs = obs
         self._current: Optional[Execution] = None
         #: Number of fresh re-executions performed.
         self.replays = 0
         #: Total scheduling steps executed, including replayed ones.
         self.replay_steps = 0
+
+    def attach_obs(self, obs: Optional["Instrumentation"]) -> None:
+        """(Re)bind instrumentation; workers rebind per shard task."""
+        self.obs = obs
+        if self._current is not None:
+            self._current.obs = obs
 
     # -- replay machinery ------------------------------------------------
 
@@ -112,6 +127,7 @@ class ProgramStateSpace(StateSpace):
                 self.replay_steps += 1
             return current
         execution = Execution(self.program, self.config)
+        execution.obs = self.obs
         self.replays += 1
         for tid in schedule:
             execution.execute(tid)
@@ -134,12 +150,28 @@ class ProgramStateSpace(StateSpace):
         return ()
 
     def enabled(self, state: object) -> Tuple[ThreadId, ...]:
-        return self.execution_at(state).enabled_threads()
+        obs = self.obs
+        if obs is None:
+            return self.execution_at(state).enabled_threads()
+        # The "schedule" phase covers everything needed to answer a
+        # scheduling query, including any stateless replay it forces.
+        t0 = obs.hook_schedule.start()
+        result = self.execution_at(state).enabled_threads()
+        obs.hook_schedule.stop(t0)
+        return result
 
     def execute(self, state: object, tid: ThreadId) -> Schedule:
+        obs = self.obs
+        if obs is None:
+            execution = self.execution_at(state)
+            execution.execute(tid)
+            return tuple(execution.schedule)
+        t0 = obs.hook_execute.start()
         execution = self.execution_at(state)
         execution.execute(tid)
-        return tuple(execution.schedule)
+        result = tuple(execution.schedule)
+        obs.hook_execute.stop(t0)
+        return result
 
     def last_thread(self, state: object) -> Optional[ThreadId]:
         schedule = self._as_schedule(state)
@@ -149,7 +181,13 @@ class ProgramStateSpace(StateSpace):
         return self.execution_at(state).preemptions
 
     def fingerprint(self, state: object) -> Hashable:
-        return self.execution_at(state).fingerprint()
+        obs = self.obs
+        if obs is None:
+            return self.execution_at(state).fingerprint()
+        t0 = obs.hook_fingerprint.start()
+        result = self.execution_at(state).fingerprint()
+        obs.hook_fingerprint.stop(t0)
+        return result
 
     def is_terminal(self, state: object) -> bool:
         return self.execution_at(state).finished

@@ -1,0 +1,89 @@
+"""Bounded coverage-history recording.
+
+The seed implementation appended one ``(executions, distinct states)``
+tuple to an unbounded list after *every* completed execution -- fine
+for the paper's budgets, hostile to million-execution runs.
+:class:`CoverageRecorder` keeps the same series (the one Figures 2, 5
+and 6 plot) under a hard memory bound: points are kept on an execution
+stride that doubles whenever the buffer fills, so a run of any length
+retains at most ``max_samples`` evenly spaced points plus the exact
+final point.
+
+The stride is aligned to the execution counter (``executions %
+stride == 0``), so two strategies run under the same budget decimate
+onto the *same* x grid -- which is what lets ``bench_fig2`` compare
+curves pointwise after decimation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+Point = Tuple[int, int]
+
+
+class CoverageRecorder:
+    """Records a monotone ``(executions, states)`` series, bounded."""
+
+    __slots__ = ("max_samples", "_kept", "_stride", "_pending")
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
+        self.max_samples = max_samples
+        self._kept: List[Point] = []
+        self._stride = 1
+        self._pending: Optional[Point] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, executions: int, states: int) -> None:
+        """Feed the point observed after one completed execution."""
+        if executions % self._stride:
+            # Off-grid: remembered so the final point is never lost.
+            self._pending = (executions, states)
+            return
+        self._kept.append((executions, states))
+        self._pending = None
+        if len(self._kept) >= self.max_samples:
+            self._decimate()
+
+    def extend_raw(self, points: Iterable[Point]) -> None:
+        """Append pre-existing points verbatim (used by merge), still
+        decimating on overflow."""
+        for point in points:
+            self._kept.append(point)
+            if len(self._kept) >= self.max_samples:
+                self._decimate()
+        self._pending = None
+
+    def replace(self, points: Iterable[Point]) -> None:
+        """Back-compat setter: install an explicit series as-is."""
+        self._kept = list(points)
+        self._pending = None
+        self._stride = 1
+
+    def _decimate(self) -> None:
+        self._stride *= 2
+        filtered = [p for p in self._kept if p[0] % self._stride == 0]
+        if len(filtered) <= len(self._kept) // 2 + 1:
+            self._kept = filtered
+        else:
+            # Merged series need not align with the stride grid; fall
+            # back to positional halving so the bound always holds.
+            self._kept = self._kept[::2]
+
+    # -- views -------------------------------------------------------------
+
+    def samples(self) -> List[Point]:
+        """The retained series, always ending at the latest point."""
+        if self._pending is not None:
+            return self._kept + [self._pending]
+        return list(self._kept)
+
+    @property
+    def stride(self) -> int:
+        return self._stride
+
+    def __len__(self) -> int:
+        return len(self._kept) + (1 if self._pending is not None else 0)

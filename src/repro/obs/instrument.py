@@ -1,0 +1,271 @@
+"""The :class:`Instrumentation` facade threaded through the checkers.
+
+One object per run bundles the three observability backends -- event
+bus, metrics registry, phase profiler -- behind small hook methods the
+instrumented layers call.  The contract with the hot path:
+
+* uninstrumented runs pass ``obs=None`` everywhere, and every hook
+  site guards with ``if obs is not None`` -- a single attribute test,
+  no allocation, no call;
+* with instrumentation on but no sinks subscribed, hooks update the
+  metrics dicts and never construct an event (``bus.active`` is
+  checked before allocating);
+* full phase timing (two clock reads per hooked call) only happens
+  with ``profiling=True``.
+
+The per-bound breakdowns maintained here mirror ``SearchContext``
+exactly: ``states_by_bound`` tracks each state's *minimal* reaching
+preemption count, including the re-bucketing when a later visit
+reaches a known state with fewer preemptions, so a snapshot's counts
+can be asserted equal to the context's (the acceptance check in
+``tests/obs``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+from .events import (
+    BoundCompleted,
+    BoundStarted,
+    BugFound,
+    EventBus,
+    ExecutionFinished,
+    ExecutionStarted,
+    RaceChecked,
+    SearchFinished,
+    SearchStarted,
+    StateVisited,
+    WorkerHeartbeat,
+)
+from .metrics import MetricsRegistry, MetricsSnapshot, SampledTimer
+from .profile import Profiler
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..errors import BugReport
+
+
+class _PhaseHook:
+    """One instrumented call site: optional exact phase timing plus an
+    optional sampled latency histogram.
+
+    ``start`` returns 0.0 when this call is not being timed, making
+    the common case one increment and one modulo."""
+
+    __slots__ = ("phase", "timer", "profiler")
+
+    def __init__(
+        self,
+        phase: str,
+        timer: Optional[SampledTimer],
+        profiler: Optional[Profiler],
+    ) -> None:
+        self.phase = phase
+        self.timer = timer
+        self.profiler = profiler
+
+    def start(self) -> float:
+        if self.profiler is not None:
+            return time.perf_counter()
+        if self.timer is not None:
+            return self.timer.start()
+        return 0.0
+
+    def stop(self, t0: float) -> None:
+        if not t0:
+            return
+        elapsed = time.perf_counter() - t0
+        if self.profiler is not None:
+            self.profiler.add(self.phase, elapsed)
+        if self.timer is not None:
+            # Under profiling every call is timed anyway, so the
+            # histogram upgrades from sampled to exhaustive.
+            self.timer.hist.record(elapsed)
+
+
+class Instrumentation:
+    """Event bus + metrics + profiler for one search run."""
+
+    def __init__(
+        self,
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiling: bool = False,
+        sample_stride: int = 64,
+    ) -> None:
+        self.bus = bus or EventBus()
+        self.metrics = metrics or MetricsRegistry()
+        self.profiling = profiling
+        self.profile = Profiler()
+        #: The strategy's current iteration bound (ICB preemption
+        #: bound, IDDFS depth); keys ``executions_by_bound``.
+        self.current_bound = 0
+        self._t0 = time.perf_counter()
+        self._in_execution = False
+        profiler = self.profile if profiling else None
+        registry = self.metrics
+        self.hook_schedule = _PhaseHook("schedule", None, profiler)
+        self.hook_execute = _PhaseHook(
+            "execute", registry.timer("execute_latency", sample_stride), profiler
+        )
+        self.hook_fingerprint = _PhaseHook(
+            "fingerprint",
+            registry.timer("fingerprint_latency", sample_stride),
+            profiler,
+        )
+        self.hook_race = _PhaseHook(
+            "race-detect", registry.timer("race_check_latency", sample_stride), profiler
+        )
+        self.hook_cache = _PhaseHook("cache-lookup", None, profiler)
+
+    def now(self) -> float:
+        """Seconds since this instrumentation was armed."""
+        return time.perf_counter() - self._t0
+
+    # -- run lifecycle -----------------------------------------------------
+
+    def search_started(self, strategy: str, program: str) -> None:
+        self.metrics.add("searches")
+        if self.bus.active:
+            self.bus.emit(SearchStarted(self.now(), strategy, program))
+
+    def search_finished(
+        self,
+        strategy: str,
+        completed: bool,
+        stop_reason: str,
+        executions: int,
+        transitions: int,
+        states: int,
+        bugs: int,
+    ) -> None:
+        self._in_execution = False
+        if self.bus.active:
+            self.bus.emit(
+                SearchFinished(
+                    self.now(),
+                    strategy,
+                    completed,
+                    stop_reason,
+                    executions,
+                    transitions,
+                    states,
+                    bugs,
+                )
+            )
+
+    def bound_started(self, bound: int, frontier: int) -> None:
+        self.current_bound = bound
+        self.metrics.set_gauge("current_bound", float(bound))
+        if self.bus.active:
+            self.bus.emit(BoundStarted(self.now(), bound, frontier))
+
+    def bound_completed(self, bound: int, executions: int, states: int) -> None:
+        self.metrics.set_gauge("completed_bound", float(bound))
+        if self.bus.active:
+            self.bus.emit(BoundCompleted(self.now(), bound, executions, states))
+
+    # -- hot-path hooks (called by SearchContext) --------------------------
+
+    def transition_observed(
+        self, preemptions: int, prior: Optional[int], states: int
+    ) -> None:
+        """One ``visit``: ``prior`` is the state's previously recorded
+        minimal preemption bucket (``None`` for a new state)."""
+        registry = self.metrics
+        registry.counters["transitions"] = registry.counters.get("transitions", 0) + 1
+        if not self._in_execution:
+            self._in_execution = True
+            if self.bus.active:
+                self.bus.emit(
+                    ExecutionStarted(
+                        self.now(), registry.counters.get("executions", 0) + 1
+                    )
+                )
+        if prior is None:
+            self.state_discovered(preemptions, states)
+        elif preemptions < prior:
+            # Known state reached more cheaply: move it to the lower
+            # bucket, exactly as SearchContext.states does.
+            buckets = registry.states_by_bound
+            buckets[prior] -= 1
+            buckets[preemptions] = buckets.get(preemptions, 0) + 1
+
+    def state_discovered(self, preemptions: int, states: int) -> None:
+        registry = self.metrics
+        registry.counters["distinct_states"] = (
+            registry.counters.get("distinct_states", 0) + 1
+        )
+        buckets = registry.states_by_bound
+        buckets[preemptions] = buckets.get(preemptions, 0) + 1
+        if self.bus.active:
+            self.bus.emit(StateVisited(self.now(), states, preemptions))
+
+    def execution_finished(self, index: int, states: int) -> None:
+        registry = self.metrics
+        registry.counters["executions"] = registry.counters.get("executions", 0) + 1
+        bound = self.current_bound
+        registry.executions_by_bound[bound] = (
+            registry.executions_by_bound.get(bound, 0) + 1
+        )
+        if self.bus.active:
+            if not self._in_execution:
+                # Zero-transition execution (e.g. a terminal initial
+                # state): synthesize the start so pairs always match.
+                self.bus.emit(ExecutionStarted(self.now(), index))
+            self.bus.emit(ExecutionFinished(self.now(), index, states))
+        self._in_execution = False
+
+    def bug_found(self, bug: "BugReport", new: bool) -> None:
+        if new:
+            self.metrics.add("bugs_found")
+        if self.bus.active:
+            self.bus.emit(
+                BugFound(
+                    self.now(),
+                    bug_kind=bug.kind.value,
+                    message=bug.message,
+                    preemptions=bug.preemptions,
+                    new=new,
+                )
+            )
+
+    # -- space-level hooks -------------------------------------------------
+
+    def race_check_start(self) -> float:
+        return self.hook_race.start()
+
+    def race_checked(self, races: int, t0: float = 0.0) -> None:
+        self.hook_race.stop(t0)
+        registry = self.metrics
+        registry.counters["race_checks"] = registry.counters.get("race_checks", 0) + 1
+        if races:
+            registry.add("races_found", races)
+            if self.bus.active:
+                self.bus.emit(RaceChecked(self.now(), races))
+
+    def cache_lookup(self, hit: bool) -> None:
+        registry = self.metrics
+        registry.counters["cache_lookups"] = (
+            registry.counters.get("cache_lookups", 0) + 1
+        )
+        if hit:
+            registry.counters["cache_hits"] = registry.counters.get("cache_hits", 0) + 1
+
+    # -- parallel-engine hooks ---------------------------------------------
+
+    def worker_heartbeat(self, worker: int, executions: int, transitions: int) -> None:
+        self.metrics.add("worker_heartbeats")
+        if self.bus.active:
+            self.bus.emit(WorkerHeartbeat(self.now(), worker, executions, transitions))
+
+    # -- freezing ----------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the metrics (with phase timings when profiling)."""
+        return self.metrics.snapshot(profile=self.profile if self.profiling else None)
+
+    def close(self) -> None:
+        """Close every subscribed sink."""
+        self.bus.close()

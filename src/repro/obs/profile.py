@@ -1,0 +1,94 @@
+"""Phase timers: where does the wall time of a search go?
+
+The search loop decomposes into five recurring kinds of work:
+
+* ``schedule`` -- asking the space which threads are enabled;
+* ``execute`` -- running one transition (including stateless replay);
+* ``fingerprint`` -- canonical state hashing;
+* ``race-detect`` -- happens-before data-race checks (a sub-phase of
+  ``execute``, reported separately because it is the classic hot
+  spot);
+* ``cache-lookup`` -- the work-item table of Algorithm 1.
+
+A :class:`Profiler` accumulates exact per-phase totals from
+``perf_counter`` pairs.  Full-fidelity timing costs two clock reads
+per hooked call, so it is opt-in (``Instrumentation(profiling=True)``,
+CLI ``--profile``); the always-on sampled latency histograms live in
+:mod:`repro.obs.metrics` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+#: Canonical phase names, in reporting order.
+PHASES: Tuple[str, ...] = (
+    "schedule",
+    "execute",
+    "fingerprint",
+    "race-detect",
+    "cache-lookup",
+)
+
+
+class Profiler:
+    """Exact accumulated wall time per phase.
+
+    ``race-detect`` nests inside ``execute``; phase totals therefore
+    partition the *instrumented* work, not the raw wall clock, and the
+    report shows fractions of elapsed time rather than of the sum.
+    """
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def start(self) -> float:
+        return time.perf_counter()
+
+    def stop(self, phase: str, t0: float) -> None:
+        self.seconds[phase] = (
+            self.seconds.get(phase, 0.0) + time.perf_counter() - t0
+        )
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.calls[phase] = self.calls.get(phase, 0) + calls
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Picklable/mergeable form: phase -> {seconds, calls}."""
+        return {
+            phase: {"seconds": self.seconds[phase], "calls": self.calls.get(phase, 0)}
+            for phase in self.seconds
+        }
+
+    def absorb(self, data: Dict[str, Dict[str, float]]) -> None:
+        for phase, cells in data.items():
+            self.add(phase, cells["seconds"], int(cells["calls"]))
+
+    def report(self, elapsed: Optional[float] = None) -> str:
+        return self.render(self.as_dict(), elapsed)
+
+    @staticmethod
+    def render(
+        data: Dict[str, Dict[str, float]], elapsed: Optional[float] = None
+    ) -> str:
+        """Aligned per-phase table; stable order, known phases first."""
+        known = [p for p in PHASES if p in data]
+        extra = sorted(p for p in data if p not in PHASES)
+        lines = ["phase profile:"]
+        lines.append("  phase         seconds     calls  share")
+        for phase in known + extra:
+            cells = data[phase]
+            seconds, calls = cells["seconds"], int(cells["calls"])
+            share = (
+                f"{100 * seconds / elapsed:5.1f}%"
+                if elapsed and elapsed > 0
+                else "     -"
+            )
+            lines.append(f"  {phase:<12}  {seconds:8.4f}  {calls:>8}  {share}")
+        return "\n".join(lines)

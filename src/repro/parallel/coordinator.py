@@ -41,6 +41,8 @@ from ..errors import (
     SearchBudgetExceeded,
     SearchInterrupted,
 )
+from ..obs.instrument import Instrumentation
+from ..obs.metrics import MetricsSnapshot
 from ..search.strategy import (
     SearchContext,
     SearchLimits,
@@ -103,6 +105,14 @@ class _RunState:
     #: minimal-preemption witness kept (same rule as SearchContext).
     bugs: Dict[Tuple[Any, ...], BugReport] = field(default_factory=dict)
     shard_results: List[SearchResult] = field(default_factory=list)
+    #: Per-shard metric snapshots (instrumented runs only).
+    metric_snapshots: List[MetricsSnapshot] = field(default_factory=list)
+    #: Cumulative per-worker (executions, transitions) totals, fed by
+    #: progress messages (instrumented runs only; drives heartbeats).
+    worker_totals: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: Union of worker-reported state fingerprints (instrumented runs
+    #: only; gives bound-completed events an exact distinct count).
+    known_states: set = field(default_factory=set)
     #: Persists each adopted witness as a trace file (``None`` when no
     #: trace directory was configured).  Called on the coordinator, so
     #: a bug found in a worker process becomes durable the moment it
@@ -143,6 +153,7 @@ class ParallelCoordinator:
         settings: Optional[ParallelSettings] = None,
         trace_dir: Optional[Any] = None,
         trace_spec: Optional[str] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -155,6 +166,7 @@ class ParallelCoordinator:
         self.settings = settings or ParallelSettings()
         self.trace_dir = trace_dir
         self.trace_spec = trace_spec
+        self.obs = obs
 
     def _trace_writer(self) -> Optional[Any]:
         """Build the streamed-bug persister for this run, if enabled."""
@@ -179,6 +191,8 @@ class ParallelCoordinator:
     def run(self, limits: Optional[SearchLimits] = None) -> SearchResult:
         """Explore the program's state space across the worker pool."""
         limits = limits or SearchLimits()
+        if self.obs is not None:
+            self.obs.search_started(self.strategy_name, self.program.name)
         space = ProgramStateSpace(self.program, self.config)
         initial = space.initial_state()
         frontier = [WorkItem((), tid, 0) for tid in space.enabled(initial)]
@@ -203,7 +217,7 @@ class ParallelCoordinator:
         limits: SearchLimits,
         extras: Dict[str, Any],
     ) -> SearchResult:
-        ctx = SearchContext(limits)
+        ctx = SearchContext(limits, obs=self.obs)
         ctx.record_initial(space, initial)
         completed, reason = True, "exhausted state space"
         try:
@@ -213,6 +227,11 @@ class ParallelCoordinator:
             completed, reason = False, str(exc)
         extras["completed_bound"] = 0 if completed else None
         extras["final_frontier"] = 0
+        if self.obs is not None:
+            self.obs.search_finished(
+                self.strategy_name, completed, reason,
+                ctx.executions, ctx.transitions, len(ctx.states), len(ctx.bugs),
+            )
         return SearchResult(self.strategy_name, completed, reason, ctx, extras)
 
     # -- pool lifecycle -------------------------------------------------------
@@ -269,6 +288,7 @@ class ParallelCoordinator:
                     settings.stop_check_interval,
                     settings.progress_interval,
                     wid in settings.fault_crash_workers,
+                    self.obs is not None,
                 ),
                 daemon=True,
             )
@@ -337,10 +357,13 @@ class ParallelCoordinator:
         extras: Dict[str, Any],
     ) -> Tuple[List[WorkItem], bool, Optional[str]]:
         settings = self.settings
+        obs = self.obs
         outstanding: Dict[int, ShardState] = {}
         deferred: Dict[int, Tuple[WorkItem, ...]] = {}
         bound_ok = True
         fail_reason: Optional[str] = None
+        if obs is not None:
+            obs.bound_started(bound, len(frontier))
 
         for items in chunk_frontier(
             frontier, self.workers, settings.overpartition, settings.chunk_size
@@ -373,9 +396,14 @@ class ParallelCoordinator:
                     shard.worker_id = wid
                     shard.claimed_at = time.monotonic()
             elif tag == MSG_PROGRESS:
-                _, _wid, exec_delta, trans_delta = msg
+                _, wid, exec_delta, trans_delta = msg
                 state.total_executions += exec_delta
                 state.total_transitions += trans_delta
+                if obs is not None:
+                    prior_e, prior_t = state.worker_totals.get(wid, (0, 0))
+                    totals = (prior_e + exec_delta, prior_t + trans_delta)
+                    state.worker_totals[wid] = totals
+                    obs.worker_heartbeat(wid, totals[0], totals[1])
             elif tag == MSG_BUG:
                 _, _wid, bug = msg
                 state.note_bug(bug)
@@ -386,6 +414,10 @@ class ParallelCoordinator:
                     continue  # duplicate after a requeue race; first wins
                 state.shard_results.append(outcome.search)
                 deferred[sid] = outcome.deferred
+                if obs is not None:
+                    if outcome.metrics is not None:
+                        state.metric_snapshots.append(outcome.metrics)
+                    state.known_states.update(outcome.search.context.states)
                 for bug in outcome.search.context.bugs.values():
                     state.note_bug(bug)
                 if not outcome.completed:
@@ -398,6 +430,10 @@ class ParallelCoordinator:
         if state.budget_reason is not None:
             bound_ok = False
             fail_reason = state.budget_reason
+        if obs is not None and bound_ok:
+            obs.bound_completed(
+                bound, state.total_executions, len(state.known_states)
+            )
         return merged_frontier, bound_ok, fail_reason
 
     def _reap(
@@ -539,4 +575,21 @@ class ParallelCoordinator:
             if known is None or _better_witness(bug, known):
                 ctx.bugs[bug.signature] = bug
         merged.extras = extras
+        obs = self.obs
+        if obs is not None:
+            if state.metric_snapshots:
+                obs.metrics.absorb(MetricsSnapshot.merge(state.metric_snapshots))
+            # Summed worker snapshots double-count cross-worker state
+            # revisits and re-found bugs; the merged context has the
+            # true union, so install it as ground truth.
+            obs.metrics.reconcile_states(ctx.states_by_bound(), bugs=len(ctx.bugs))
+            obs.search_finished(
+                self.strategy_name,
+                completed,
+                reason,
+                ctx.executions,
+                ctx.transitions,
+                len(ctx.states),
+                len(ctx.bugs),
+            )
         return merged

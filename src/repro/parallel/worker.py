@@ -40,6 +40,7 @@ from ..core.execution import ExecutionConfig
 from ..core.program import Program
 from ..core.transition import ProgramStateSpace
 from ..errors import BugReport, SearchBudgetExceeded, SearchInterrupted
+from ..obs.instrument import Instrumentation
 from ..search.icb import IterativeContextBounding
 from ..search.strategy import SearchContext, SearchLimits, SearchResult
 from .workitem import ShardOutcome, ShardTask, WorkItem
@@ -81,8 +82,11 @@ class WorkerContext(SearchContext):
         deadline: Optional[float],
         stop_check_interval: int = 64,
         progress_interval: int = 256,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
-        super().__init__(replace(limits, stop_on_first_bug=False, max_seconds=None))
+        super().__init__(
+            replace(limits, stop_on_first_bug=False, max_seconds=None), obs=obs
+        )
         self.worker_id = worker_id
         self.stop_event = stop_event
         self.result_queue = result_queue
@@ -217,6 +221,7 @@ def explore_shard(
         deferred=tuple(sink.items),
         residual_executions=0,  # flushed above
         residual_transitions=0,
+        metrics=ctx.obs.snapshot() if ctx.obs is not None else None,
     )
 
 
@@ -232,6 +237,7 @@ def worker_main(
     stop_check_interval: int,
     progress_interval: int,
     crash_on_first_claim: bool = False,
+    collect_metrics: bool = False,
 ) -> None:
     """Entry point of one worker process.
 
@@ -258,6 +264,14 @@ def worker_main(
             # claim, then die without any cleanup.
             time.sleep(0.2)
             os._exit(17)
+        obs: Optional[Instrumentation] = None
+        if collect_metrics:
+            # One fresh Instrumentation per task: its snapshot ships in
+            # the ShardOutcome, so cross-task aggregation happens
+            # coordinator-side and double counting is impossible.
+            obs = Instrumentation()
+            obs.current_bound = task.bound
+            space.attach_obs(obs)
         ctx = WorkerContext(
             limits,
             worker_id,
@@ -266,6 +280,9 @@ def worker_main(
             deadline,
             stop_check_interval=stop_check_interval,
             progress_interval=progress_interval,
+            obs=obs,
         )
         outcome = explore_shard(space, task, ctx)
+        if collect_metrics:
+            space.attach_obs(None)
         result_queue.put((MSG_DONE, worker_id, task.shard_id, outcome))

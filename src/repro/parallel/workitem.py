@@ -16,11 +16,14 @@ boundaries through ``multiprocessing`` queues.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..core.execution import Schedule
 from ..core.thread import ThreadId
 from ..search.strategy import SearchResult
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..obs.metrics import MetricsSnapshot
 
 
 @dataclass(frozen=True)
@@ -77,6 +80,10 @@ class ShardOutcome:
     deferred: Tuple[WorkItem, ...] = ()
     residual_executions: int = 0
     residual_transitions: int = 0
+    #: Frozen per-shard metrics when the run is instrumented
+    #: (``None`` otherwise); the coordinator folds these with
+    #: :meth:`MetricsSnapshot.merge`.
+    metrics: Optional["MetricsSnapshot"] = None
 
 
 @dataclass

@@ -49,11 +49,16 @@ class DepthFirstSearch(Strategy):
         stack: List[Tuple[object, ThreadId, int]] = [
             (initial, tid, 0) for tid in reversed(space.enabled(initial))
         ]
+        obs = ctx.obs
         pruned = 0
         while stack:
             state, tid, depth = stack.pop()
-            if cache is not None and cache.seen(space.fingerprint(state), tid):
-                continue
+            if cache is not None:
+                hit = cache.seen(space.fingerprint(state), tid)
+                if obs is not None:
+                    obs.cache_lookup(hit)
+                if hit:
+                    continue
             successor = space.execute(state, tid)
             ctx.visit(space, successor)
             if space.is_terminal(successor):

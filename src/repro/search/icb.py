@@ -67,14 +67,19 @@ class IterativeContextBounding(Strategy):
         if not work_queue and space.is_terminal(initial):
             ctx.note_terminal(space, initial)
 
+        obs = ctx.obs
         bound = 0
         extras["completed_bound"] = None
         while True:
+            if obs is not None:
+                obs.bound_started(bound, len(work_queue))
             while work_queue:
                 item = work_queue.popleft()
                 self._search_item(space, ctx, item, next_queue, cache)
             # All executions with at most `bound` preemptions explored.
             extras["completed_bound"] = bound
+            if obs is not None:
+                obs.bound_completed(bound, ctx.executions, len(ctx.states))
             if not next_queue:
                 break
             if self.max_bound is not None and bound >= self.max_bound:
@@ -100,11 +105,16 @@ class IterativeContextBounding(Strategy):
         additional preemption, deferring each preempting alternative
         into ``next_queue``.
         """
+        obs = ctx.obs
         stack: List[WorkItem] = [item]
         while stack:
             state, tid = stack.pop()
-            if cache is not None and cache.seen(space.fingerprint(state), tid):
-                continue
+            if cache is not None:
+                hit = cache.seen(space.fingerprint(state), tid)
+                if obs is not None:
+                    obs.cache_lookup(hit)
+                if hit:
+                    continue
             successor = space.execute(state, tid)
             ctx.visit(space, successor)
             if space.is_terminal(successor):

@@ -43,13 +43,18 @@ class IterativeDeepening(Strategy):
     def _search(
         self, space: StateSpace, ctx: SearchContext, extras: Dict[str, Any]
     ) -> None:
+        obs = ctx.obs
         bound = self.initial_bound
         extras["bounds_run"] = []
         while True:
+            if obs is not None:
+                obs.bound_started(bound, 0)
             dfs = DepthFirstSearch(depth_bound=bound)
             inner: Dict[str, Any] = {}
             dfs._search(space, ctx, inner)
             extras["bounds_run"].append(bound)
+            if obs is not None:
+                obs.bound_completed(bound, ctx.executions, len(ctx.states))
             if inner.get("pruned_executions", 0) == 0:
                 # Nothing was pruned: the whole space fits in `bound`.
                 extras["completed_depth"] = bound

@@ -65,6 +65,10 @@ class PCTScheduler(Strategy):
     ) -> None:
         rng = random.Random(self.seed)
         extras["depth"] = self.depth
+        if ctx.obs is not None:
+            # PCT has no iterating bound; report the target bug depth
+            # so dashboards show what guarantee this run provides.
+            ctx.obs.bound_started(self.depth, self.executions)
         for _ in range(self.executions):
             self._one_run(space, ctx, rng)
 

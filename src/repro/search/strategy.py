@@ -28,6 +28,17 @@ from ..errors import (
     SearchInterrupted,
 )
 from ..core.transition import StateSpace
+from ..obs.history import CoverageRecorder
+from ..obs.instrument import Instrumentation
+
+#: How many transitions may pass between wall-clock reads in
+#: ``SearchContext._check_budget``.  A transition takes ~1us while a
+#: ``time.monotonic()`` call costs a comparable amount, so reading the
+#: clock every transition roughly doubled the budget-check overhead
+#: (see benchmarks/README.md).  Overshoot is bounded by the stride:
+#: at worst ``TIME_CHECK_STRIDE - 1`` extra transitions run past the
+#: deadline, microseconds in practice.
+TIME_CHECK_STRIDE = 64
 
 
 @dataclass(frozen=True)
@@ -73,26 +84,41 @@ def _better_witness(challenger: BugReport, incumbent: BugReport) -> bool:
 class SearchContext:
     """Shared statistics and budget enforcement for a search run."""
 
-    def __init__(self, limits: Optional[SearchLimits] = None) -> None:
+    def __init__(
+        self,
+        limits: Optional[SearchLimits] = None,
+        obs: Optional[Instrumentation] = None,
+        history_samples: int = 8192,
+    ) -> None:
         self.limits = limits or SearchLimits()
+        #: Optional instrumentation; ``None`` keeps the hot path free
+        #: of any observability cost beyond one attribute test.
+        self.obs = obs
         #: fingerprint -> minimal preemption count at which visited.
         self.states: Dict[Hashable, int] = {}
         #: bug signature -> minimal-preemption report.
         self.bugs: Dict[Tuple[Any, ...], BugReport] = {}
         self.executions = 0
         self.transitions = 0
-        #: (executions completed, distinct states) after each execution.
-        self.history: List[Tuple[int, int]] = []
+        #: Bounded recorder behind the :attr:`history` property.
+        self._history = CoverageRecorder(max_samples=history_samples)
         self.max_steps = 0
         self.max_blocking = 0
         self.max_preemptions = 0
         self.started_at = time.monotonic()
+        # Zero forces the very first _check_budget call to read the
+        # clock, so max_seconds=0.0 still stops before any work.
+        self._time_countdown = 0
 
     # -- recording ----------------------------------------------------------
 
     def record_initial(self, space: StateSpace, state: object) -> None:
         """Record the initial state before exploration starts."""
-        self.states.setdefault(space.fingerprint(state), 0)
+        fingerprint = space.fingerprint(state)
+        if fingerprint not in self.states:
+            self.states[fingerprint] = 0
+            if self.obs is not None:
+                self.obs.state_discovered(0, len(self.states))
 
     def visit(self, space: StateSpace, state: object) -> None:
         """Record a state reached by one ``execute`` transition."""
@@ -102,6 +128,8 @@ class SearchContext:
         known = self.states.get(fingerprint)
         if known is None or preemptions < known:
             self.states[fingerprint] = preemptions
+        if self.obs is not None:
+            self.obs.transition_observed(preemptions, known, len(self.states))
         for bug in space.bugs(state):
             self.note_bug(bug)
         self._check_budget()
@@ -118,17 +146,46 @@ class SearchContext:
             self.max_steps = max(self.max_steps, steps)
             self.max_blocking = max(self.max_blocking, blocking)
             self.max_preemptions = max(self.max_preemptions, preemptions)
-        self.history.append((self.executions, len(self.states)))
+        self._history.record(self.executions, len(self.states))
+        if self.obs is not None:
+            self.obs.execution_finished(self.executions, len(self.states))
         self._check_budget()
 
     def note_bug(self, bug: BugReport) -> None:
         """Record a bug, keeping the minimal-preemption witness."""
         signature = bug.signature
         known = self.bugs.get(signature)
-        if known is None or bug.preemptions < known.preemptions:
+        improved = known is None or bug.preemptions < known.preemptions
+        if improved:
             self.bugs[signature] = bug
+        if self.obs is not None and improved:
+            # Milestones only: a new defect, or a better witness for a
+            # known one -- not every re-encounter along other paths.
+            self.obs.bug_found(bug, new=known is None)
         if self.limits.stop_on_first_bug:
             raise SearchInterrupted("stopping at first bug")
+
+    # -- coverage history ----------------------------------------------------
+
+    @property
+    def history(self) -> List[Tuple[int, int]]:
+        """(executions completed, distinct states) after each execution.
+
+        Backed by a bounded :class:`CoverageRecorder`: under the
+        default 8192-sample budget short runs (all the experiment
+        scripts) see the exact per-execution series, while very long
+        runs keep an evenly strided subsample plus the exact final
+        point instead of growing without bound.
+        """
+        return self._history.samples()
+
+    @history.setter
+    def history(self, points: List[Tuple[int, int]]) -> None:
+        self._history.replace(points)
+
+    @property
+    def history_recorder(self) -> CoverageRecorder:
+        return self._history
 
     # -- budgets ------------------------------------------------------------
 
@@ -139,8 +196,26 @@ class SearchContext:
         if limits.max_transitions is not None and self.transitions >= limits.max_transitions:
             raise SearchBudgetExceeded(f"transition budget {limits.max_transitions} reached")
         if limits.max_seconds is not None:
-            if time.monotonic() - self.started_at >= limits.max_seconds:
-                raise SearchBudgetExceeded(f"time budget {limits.max_seconds}s reached")
+            # The clock is read once per TIME_CHECK_STRIDE calls: a
+            # monotonic() read costs about as much as a transition, so
+            # checking every call doubled budget overhead for runs
+            # that never come near their deadline.
+            self._time_countdown -= 1
+            if self._time_countdown < 0:
+                self._time_countdown = TIME_CHECK_STRIDE - 1
+                if time.monotonic() - self.started_at >= limits.max_seconds:
+                    raise SearchBudgetExceeded(
+                        f"time budget {limits.max_seconds}s reached"
+                    )
+
+    # -- pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Instrumentation holds sinks (open files, streams) and never
+        # crosses a process boundary; workers ship MetricsSnapshots.
+        state = self.__dict__.copy()
+        state["obs"] = None
+        return state
 
     # -- derived views ----------------------------------------------------------
 
@@ -256,6 +331,7 @@ class SearchResult:
         merged.started_at = min(r.context.started_at for r in results)
         exec_offset = 0
         high_water = 0
+        merged_history: List[Tuple[int, int]] = []
         for result in results:
             ctx = result.context
             for fingerprint, preemptions in ctx.states.items():
@@ -273,8 +349,9 @@ class SearchResult:
             merged.max_preemptions = max(merged.max_preemptions, ctx.max_preemptions)
             for executions, distinct in ctx.history:
                 high_water = max(high_water, distinct)
-                merged.history.append((exec_offset + executions, high_water))
+                merged_history.append((exec_offset + executions, high_water))
             exec_offset += ctx.executions
+        merged.history_recorder.extend_raw(merged_history)
         if completed is None:
             completed = all(r.completed for r in results)
         if stop_reason is None:
@@ -311,10 +388,17 @@ class Strategy(abc.ABC):
         space: StateSpace,
         limits: Optional[SearchLimits] = None,
         context: Optional[SearchContext] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> SearchResult:
         """Explore ``space`` until done or out of budget."""
-        ctx = context or SearchContext(limits)
+        ctx = context or SearchContext(limits, obs=obs)
+        if obs is not None and ctx.obs is None:
+            ctx.obs = obs
+        obs = ctx.obs
         extras: Dict[str, Any] = {}
+        if obs is not None:
+            program = getattr(getattr(space, "program", None), "name", None)
+            obs.search_started(self.name, program or type(space).__name__)
         try:
             ctx.record_initial(space, space.initial_state())
             self._search(space, ctx, extras)
@@ -323,6 +407,16 @@ class Strategy(abc.ABC):
             completed, reason = False, str(exc)
         except SearchInterrupted as exc:
             completed, reason = False, str(exc)
+        if obs is not None:
+            obs.search_finished(
+                self.name,
+                completed,
+                reason,
+                ctx.executions,
+                ctx.transitions,
+                len(ctx.states),
+                len(ctx.bugs),
+            )
         return SearchResult(
             strategy=self.name,
             completed=completed,

@@ -14,9 +14,12 @@ search with a state cache and a delta-compressed stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..core.thread import ThreadId
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..obs.instrument import Instrumentation
 from ..core.transition import StateSpace
 from ..errors import BugKind, BugReport, ProgramAssertionError
 from ..search.icb import IterativeContextBounding
@@ -71,8 +74,13 @@ class ZingNode:
 class ZingStateSpace(StateSpace):
     """Explicit-state view of a compiled ZING model."""
 
-    def __init__(self, model: ZingModel | CompiledModel) -> None:
+    def __init__(
+        self,
+        model: ZingModel | CompiledModel,
+        obs: Optional["Instrumentation"] = None,
+    ) -> None:
         self.compiled = model if isinstance(model, CompiledModel) else model.compile()
+        self.obs = obs
         self.tids = tuple(
             ThreadId((i,), label)
             for i, label in enumerate(self.compiled.thread_labels)
@@ -114,6 +122,15 @@ class ZingStateSpace(StateSpace):
     # -- StateSpace interface ---------------------------------------------------
 
     def enabled(self, state: object) -> Tuple[ThreadId, ...]:
+        obs = self.obs
+        if obs is None:
+            return self._enabled(state)
+        t0 = obs.hook_schedule.start()
+        result = self._enabled(state)
+        obs.hook_schedule.stop(t0)
+        return result
+
+    def _enabled(self, state: object) -> Tuple[ThreadId, ...]:
         node = self._node(state)
         if node.bugs:
             return ()
@@ -139,9 +156,18 @@ class ZingStateSpace(StateSpace):
         return bool(instr.guard(ctx))
 
     def execute(self, state: object, tid: ThreadId) -> ZingNode:
+        obs = self.obs
+        if obs is None:
+            return self._execute(state, tid)
+        t0 = obs.hook_execute.start()
+        result = self._execute(state, tid)
+        obs.hook_execute.stop(t0)
+        return result
+
+    def _execute(self, state: object, tid: ThreadId) -> ZingNode:
         node = self._node(state)
         index = tid.path[0]
-        enabled = self.enabled(node)
+        enabled = self._enabled(node)
         preempting = (
             node.last is not None and tid != node.last and node.last in enabled
         )
@@ -211,17 +237,23 @@ class ZingStateSpace(StateSpace):
         return self._node(state).preemptions
 
     def fingerprint(self, state: object) -> Hashable:
-        return hash(self._node(state).frozen)
+        obs = self.obs
+        if obs is None:
+            return hash(self._node(state).frozen)
+        t0 = obs.hook_fingerprint.start()
+        result = hash(self._node(state).frozen)
+        obs.hook_fingerprint.stop(t0)
+        return result
 
     def is_terminal(self, state: object) -> bool:
         node = self._node(state)
-        return bool(node.bugs) or not self.enabled(node)
+        return bool(node.bugs) or not self._enabled(node)
 
     def bugs(self, state: object) -> Tuple[BugReport, ...]:
         node = self._node(state)
         if node.bugs:
             return node.bugs
-        if not self.enabled(node):
+        if not self._enabled(node):
             stuck = [
                 str(self.tids[i])
                 for i, t in enumerate(node.threads_raw)
@@ -273,9 +305,9 @@ class ZingChecker:
     def __init__(self, model: ZingModel | CompiledModel) -> None:
         self.compiled = model if isinstance(model, CompiledModel) else model.compile()
 
-    def space(self) -> ZingStateSpace:
+    def space(self, obs: Optional["Instrumentation"] = None) -> ZingStateSpace:
         """A fresh explicit-state space for this model."""
-        return ZingStateSpace(self.compiled)
+        return ZingStateSpace(self.compiled, obs=obs)
 
     def check(
         self,
@@ -283,6 +315,7 @@ class ZingChecker:
         max_bound: Optional[int] = None,
         limits: Optional[SearchLimits] = None,
         state_caching: bool = True,
+        obs: Optional["Instrumentation"] = None,
     ) -> SearchResult:
         """Explore the model; ICB with state caching by default."""
         if strategy is None:
@@ -291,7 +324,7 @@ class ZingChecker:
             )
         elif max_bound is not None:
             raise ValueError("pass max_bound only when using the default strategy")
-        return strategy.run(self.space(), limits=limits)
+        return strategy.run(self.space(obs=obs), limits=limits, obs=obs)
 
     def find_bug(
         self, max_bound: Optional[int] = None, limits: Optional[SearchLimits] = None

@@ -1,0 +1,83 @@
+"""Bounded coverage history: decimation bound, final-point retention,
+and the ``SearchContext.history`` back-compat surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker
+from repro.obs import CoverageRecorder
+from repro.programs import toy
+from repro.search.strategy import SearchContext
+
+
+class TestCoverageRecorder:
+    def test_small_series_kept_verbatim(self):
+        rec = CoverageRecorder(max_samples=100)
+        for i in range(1, 11):
+            rec.record(i, i * 2)
+        assert rec.samples() == [(i, i * 2) for i in range(1, 11)]
+        assert rec.stride == 1
+
+    def test_memory_bound_holds_for_long_runs(self):
+        rec = CoverageRecorder(max_samples=64)
+        for i in range(1, 100_001):
+            rec.record(i, i)
+        assert len(rec) <= 64
+        assert rec.stride > 1
+
+    def test_final_point_always_retained(self):
+        rec = CoverageRecorder(max_samples=16)
+        for i in range(1, 1001):
+            rec.record(i, i + 7)
+        assert rec.samples()[-1] == (1000, 1007)
+
+    def test_series_stays_sorted_after_decimation(self):
+        rec = CoverageRecorder(max_samples=32)
+        for i in range(1, 5000):
+            rec.record(i, i)
+        xs = [x for x, _ in rec.samples()]
+        assert xs == sorted(xs)
+
+    def test_decimated_points_stay_on_grid(self):
+        rec = CoverageRecorder(max_samples=32)
+        for i in range(1, 10_000):
+            rec.record(i, i)
+        on_grid = rec.samples()[:-1]  # last point may be the pending one
+        assert all(x % rec.stride == 0 for x, _ in on_grid)
+
+    def test_replace_installs_series_verbatim(self):
+        rec = CoverageRecorder(max_samples=16)
+        rec.replace([(1, 1), (5, 3)])
+        assert rec.samples() == [(1, 1), (5, 3)]
+
+    def test_extend_raw_bounds_merged_series(self):
+        rec = CoverageRecorder(max_samples=16)
+        rec.extend_raw((i, i) for i in range(1, 1000))
+        assert len(rec) <= 16
+
+    def test_too_small_bound_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageRecorder(max_samples=1)
+
+
+class TestContextHistory:
+    def test_history_records_coverage_series(self):
+        result = ChessChecker(toy.atomic_counter_assert()).check(max_bound=1)
+        history = result.search.context.history
+        assert history
+        assert history[-1][0] == result.executions
+        assert history[-1][1] == result.distinct_states
+
+    def test_history_setter_back_compat(self):
+        ctx = SearchContext()
+        ctx.history = [(1, 1), (2, 2)]
+        assert ctx.history == [(1, 1), (2, 2)]
+        ctx.history = ctx.history + [(3, 3)]
+        assert ctx.history[-1] == (3, 3)
+
+    def test_context_history_is_bounded(self):
+        ctx = SearchContext(history_samples=32)
+        for i in range(1, 10_000):
+            ctx.history_recorder.record(i, i)
+        assert len(ctx.history) <= 32

@@ -1,0 +1,192 @@
+"""Sink behavior: JSONL round-trip and validation, live progress
+rendering, final report, event-log summaries."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import ChessChecker
+from repro.obs import (
+    FinalReportSink,
+    Instrumentation,
+    JsonlEventSink,
+    LiveProgressSink,
+    ObsFormatError,
+    Sink,
+    render_event_summary,
+    validate_event_log,
+)
+from repro.obs.events import BoundStarted, ExecutionFinished, SearchFinished
+from repro.obs.sinks import EVENTS_FORMAT, EVENTS_VERSION
+from repro.programs import toy
+
+
+class Recorder(Sink):
+    def __init__(self):
+        self.events = []
+
+    def handle(self, event):
+        self.events.append(event)
+
+
+def write_log(tmp_path, **kwargs):
+    """Run an instrumented check with both a recorder and a JSONL sink."""
+    obs = Instrumentation()
+    recorder = obs.bus.subscribe(Recorder())
+    path = tmp_path / "run.events.jsonl"
+    sink = obs.bus.subscribe(JsonlEventSink(path))
+    ChessChecker(toy.atomic_counter_assert()).check(max_bound=1, obs=obs)
+    obs.close()
+    return path, sink, recorder.events
+
+
+class TestJsonlRoundTrip:
+    def test_golden_round_trip(self, tmp_path):
+        path, sink, emitted = write_log(tmp_path)
+        loaded = validate_event_log(path)
+        assert sink.events_written == len(emitted)
+        assert len(loaded) == len(emitted)
+        for original, rebuilt in zip(emitted, loaded):
+            assert rebuilt.to_dict() == original.to_dict()
+
+    def test_header_is_versioned(self, tmp_path):
+        path, _, _ = write_log(tmp_path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"format": EVENTS_FORMAT, "version": EVENTS_VERSION}
+
+    def test_include_filter(self, tmp_path):
+        obs = Instrumentation()
+        path = tmp_path / "filtered.jsonl"
+        obs.bus.subscribe(JsonlEventSink(path, include=["bound_completed"]))
+        ChessChecker(toy.atomic_counter_assert()).check(max_bound=1, obs=obs)
+        obs.close()
+        loaded = validate_event_log(path)
+        assert loaded and all(e.kind == "bound_completed" for e in loaded)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "x.jsonl")
+        sink.close()
+        sink.close()
+        sink.handle(BoundStarted(0.0, 0, 1))  # after close: silently dropped
+        assert sink.events_written == 0
+
+
+class TestValidation:
+    def test_corrupted_line_names_file_and_line(self, tmp_path):
+        path, _, _ = write_log(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[3] = '{"e": "bound_started", "t": 0.0}'  # missing fields
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ObsFormatError, match=rf"{path.name}:4: missing key"):
+            validate_event_log(path)
+
+    def test_non_json_line(self, tmp_path):
+        path, _, _ = write_log(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[2] = "not json at all"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ObsFormatError, match="not JSON"):
+            validate_event_log(path)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(ObsFormatError, match="not a repro-events log"):
+            validate_event_log(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"format": EVENTS_FORMAT, "version": EVENTS_VERSION + 1}) + "\n"
+        )
+        with pytest.raises(ObsFormatError, match="unsupported event-log version"):
+            validate_event_log(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ObsFormatError, match="empty event log"):
+            validate_event_log(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ObsFormatError, match="cannot read"):
+            validate_event_log(tmp_path / "does-not-exist.jsonl")
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path, _, emitted = write_log(tmp_path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(validate_event_log(path)) == len(emitted)
+
+
+class TestLiveProgress:
+    def test_non_tty_prints_lines(self):
+        stream = io.StringIO()
+        sink = LiveProgressSink(stream=stream, interval=0.0)
+        sink.handle(BoundStarted(0.1, 2, 10))
+        sink.handle(ExecutionFinished(0.2, 50, 30))
+        sink.handle(SearchFinished(0.3, "icb", True, "exhausted", 50, 400, 30, 0))
+        sink.close()
+        out = stream.getvalue()
+        assert "bound 2" in out
+        assert "50 exec" in out
+        assert "30 states" in out
+
+    def test_eta_from_execution_budget(self):
+        from repro.search.strategy import SearchLimits
+
+        stream = io.StringIO()
+        sink = LiveProgressSink(
+            stream=stream, interval=0.0, limits=SearchLimits(max_executions=100)
+        )
+        sink.handle(ExecutionFinished(2.0, 50, 30))
+        assert "ETA" in stream.getvalue()
+
+    def test_throttling(self):
+        stream = io.StringIO()
+        sink = LiveProgressSink(stream=stream, interval=3600.0)
+        sink.handle(ExecutionFinished(0.1, 1, 1))
+        first = stream.getvalue()
+        sink.handle(ExecutionFinished(0.2, 2, 2))
+        assert stream.getvalue() == first  # second refresh suppressed
+        # ...but the final render always happens.
+        sink.handle(SearchFinished(0.3, "icb", True, "done", 2, 4, 2, 0))
+        assert stream.getvalue() != first
+
+
+class TestFinalReport:
+    def test_curve_and_totals(self):
+        stream = io.StringIO()
+        sink = FinalReportSink(stream=stream, width=40, height=8)
+        for i in range(1, 20):
+            sink.handle(ExecutionFinished(i / 10, i, i * 2))
+        sink.handle(SearchFinished(2.0, "icb", True, "exhausted", 19, 100, 38, 1))
+        sink.close()
+        out = stream.getvalue()
+        assert "coverage: distinct states vs executions" in out
+        assert "icb: 19 executions, 100 transitions, 38 states, 1 bug(s)" in out
+
+    def test_empty_stream(self):
+        stream = io.StringIO()
+        sink = FinalReportSink(stream=stream)
+        sink.close()
+        assert "no executions observed" in stream.getvalue()
+
+    def test_close_is_idempotent(self):
+        stream = io.StringIO()
+        sink = FinalReportSink(stream=stream)
+        sink.close()
+        sink.close()
+        assert stream.getvalue().count("no executions observed") == 1
+
+
+class TestEventSummary:
+    def test_summary_of_real_run(self, tmp_path):
+        path, _, _ = write_log(tmp_path)
+        text = render_event_summary(validate_event_log(path))
+        assert "events" in text
+        assert "execution_finished:" in text
+        assert "bound 1 completed" in text
+        assert "coverage: distinct states vs executions" in text
