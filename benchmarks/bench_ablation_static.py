@@ -1,0 +1,89 @@
+"""Ablation: the static analysis-driven deferral pruning.
+
+Beyond the paper: ``repro.analysis`` proves some variables thread-local
+from the program text and ``check(analysis=True)`` then skips deferring
+preemptions at accesses to them (see ``docs/analysis.md``).  This
+ablation exhausts the same programs with the reduction off and on,
+measuring executions, transitions, pruned deferrals and wall-clock —
+and asserting the acceptance property: the identical bug set (same
+``BugReport.identity``, i.e. the same minimal-preemption witness
+schedules) with strictly fewer transitions.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ChessChecker, SearchLimits
+from repro.experiments.reporting import render_table
+from repro.programs import builtin_registry
+
+from _common import emit, run_once
+
+#: Programs with proven-local atomics at scheduling points -- the
+#: shape the reduction targets (per-thread statistics counters beside
+#: genuinely shared state).
+PROGRAMS = [
+    "toy:chain",
+    "toy:stats-race",
+    "toy:stats-assert",
+    "toy:stats-deadlock",
+]
+
+
+def run_ablation():
+    rows = []
+    agreement = {}
+    for spec in PROGRAMS:
+        factory = builtin_registry()[spec]
+        for analysis in (False, True):
+            checker = ChessChecker(factory())
+            started = time.monotonic()
+            result = checker.check(
+                max_bound=1,
+                limits=SearchLimits(max_seconds=240),
+                analysis=analysis,
+            )
+            elapsed = time.monotonic() - started
+            pruned = result.search.extras.get("analysis_pruned", 0)
+            rows.append(
+                [
+                    spec,
+                    "on" if analysis else "off",
+                    result.executions,
+                    result.transitions,
+                    pruned,
+                    len(result.bugs),
+                    f"{elapsed:.2f}s",
+                ]
+            )
+            agreement.setdefault(spec, []).append(
+                (
+                    result.transitions,
+                    pruned,
+                    sorted(bug.identity for bug in result.bugs),
+                )
+            )
+    return rows, agreement
+
+
+def test_ablation_static(benchmark):
+    rows, agreement = run_once(benchmark, run_ablation)
+    emit(
+        "ablation_static",
+        render_table(
+            ["program", "analysis", "executions", "transitions",
+             "pruned", "bugs", "time"],
+            rows,
+            title="Ablation: static analysis-driven deferral pruning "
+            "(ICB to bound 1)",
+        ),
+    )
+    for spec, ((base_trans, _, base_ids), (red_trans, pruned, red_ids)) in (
+        agreement.items()
+    ):
+        # Identical bug set, witness-for-witness.
+        assert red_ids == base_ids, spec
+        # Strictly fewer transitions, and the pruning counter explains it.
+        assert red_trans < base_trans, (spec, red_trans, base_trans)
+        assert pruned > 0, spec

@@ -31,6 +31,9 @@ Quickstart::
 Package layout:
 
 * :mod:`repro.core` -- the controlled concurrency runtime.
+* :mod:`repro.analysis` -- static effect analysis: per-thread access
+  summaries, the lock-order graph, race candidates, lint findings and
+  the analysis-driven search reduction (see ``docs/analysis.md``).
 * :mod:`repro.search` -- ICB and the baseline strategies.
 * :mod:`repro.races` -- happens-before tracking and race detection.
 * :mod:`repro.monitors` -- pluggable per-execution property monitors.
@@ -47,6 +50,7 @@ Package layout:
   figure of the evaluation.
 """
 
+from .analysis import LintFinding, ProgramAnalysis, RaceCandidate, analyze
 from .chess.checker import CheckResult, ChessChecker, check_program, find_minimal_bug
 from .core.effects import Effect, EffectKind, alloc, join, sched_yield, spawn
 from .core.execution import (
@@ -80,6 +84,7 @@ from .search import (
     IterativeContextBounding,
     IterativeDeepening,
     PCTScheduler,
+    RaceCandidatePrioritizer,
     RandomWalk,
     SearchContext,
     SearchLimits,
@@ -106,6 +111,7 @@ __all__ = [
     "InvariantMonitor",
     "IterativeContextBounding",
     "IterativeDeepening",
+    "LintFinding",
     "MetricsSnapshot",
     "MinimizationResult",
     "Monitor",
@@ -113,7 +119,10 @@ __all__ = [
     "ParallelCoordinator",
     "ParallelSettings",
     "Program",
+    "ProgramAnalysis",
     "ProgramStateSpace",
+    "RaceCandidate",
+    "RaceCandidatePrioritizer",
     "RaceDetection",
     "RandomWalk",
     "ReplayOutcome",
@@ -136,6 +145,7 @@ __all__ = [
     "WorkItem",
     "World",
     "alloc",
+    "analyze",
     "check",
     "check_program",
     "find_minimal_bug",

@@ -1,0 +1,184 @@
+"""repro.analysis: static analysis over effect programs.
+
+The subsystem has three layers (see ``docs/analysis.md``):
+
+1. :mod:`repro.analysis.summary` -- per-thread access summaries via
+   abstract interpretation of the thread-body ASTs, with a sound TOP
+   fallback for anything unresolvable.
+2. :mod:`repro.analysis.lockgraph` / :mod:`repro.analysis.racecand` /
+   :mod:`repro.analysis.lint` -- consumers of the summaries: the lock
+   acquisition-order graph with potential-deadlock cycles, Eraser-style
+   race candidates, and DSL lint findings.
+3. :class:`ProgramAnalysis` -- the facade the checkers consume: proven
+   thread-local variables drive the opt-in search-space reduction
+   (``ChessChecker(..., analysis=True)``), race candidates drive
+   preemption prioritization in ICB/PCT.
+
+Everything is computed once per program, before any execution runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import FrozenSet, List, Tuple
+
+from ..core.program import Program
+from .lint import LintFinding, format_baseline, lint_program, load_baseline
+from .lockgraph import LockCycle, LockOrderGraph
+from .racecand import RaceCandidate, race_candidates
+from .summary import (
+    PRUNABLE_KINDS,
+    ProgramSummary,
+    StaticAccess,
+    ThreadSummary,
+    analyze_program,
+)
+
+__all__ = [
+    "PRUNABLE_KINDS",
+    "LintFinding",
+    "LockCycle",
+    "LockOrderGraph",
+    "ProgramAnalysis",
+    "ProgramSummary",
+    "RaceCandidate",
+    "StaticAccess",
+    "ThreadSummary",
+    "analyze",
+    "analyze_program",
+    "format_baseline",
+    "lint_program",
+    "load_baseline",
+    "race_candidates",
+]
+
+
+@dataclass(frozen=True)
+class ProgramAnalysis:
+    """Everything the static pass knows about one program."""
+
+    summary: ProgramSummary
+    graph: LockOrderGraph
+    candidates: Tuple[RaceCandidate, ...]
+    findings: Tuple[LintFinding, ...]
+
+    @classmethod
+    def of(cls, program: Program) -> "ProgramAnalysis":
+        summary = analyze_program(program)
+        graph = LockOrderGraph.from_summary(summary)
+        candidates = race_candidates(summary)
+        findings = lint_program(summary, graph)
+        return cls(
+            summary=summary,
+            graph=graph,
+            candidates=candidates,
+            findings=findings,
+        )
+
+    # -- facts the search layer consumes ------------------------------
+
+    @property
+    def program(self) -> str:
+        return self.summary.program
+
+    @property
+    def reduction_enabled(self) -> bool:
+        """Whether the scheduling-point reduction may be applied.
+
+        Any TOP summary disables it: a TOP thread may access anything,
+        so no variable can be proven thread-local.
+        """
+        return not self.summary.any_top
+
+    @property
+    def proven_local(self) -> FrozenSet[str]:
+        """Shared-object names accessed by at most one thread instance."""
+        return self.summary.proven_local
+
+    @cached_property
+    def hot_variables(self) -> FrozenSet[str]:
+        """Variables appearing in some race candidate (for heuristics)."""
+        return frozenset(c.variable for c in self.candidates)
+
+    # -- reporting ----------------------------------------------------
+
+    @cached_property
+    def predicted_reduction(self) -> Tuple[int, int]:
+        """``(prunable, total)`` static accesses: the predicted share of
+        scheduling points the reduction can skip deferrals at."""
+        total = 0
+        prunable = 0
+        local = self.proven_local
+        for thread in self.summary.threads:
+            for access in thread.accesses:
+                total += 1
+                if access.kind in PRUNABLE_KINDS and access.variable in local:
+                    prunable += 1
+        return prunable, total
+
+    def render(self) -> str:
+        """A human-readable report for ``repro analyze``."""
+        lines: List[str] = []
+        summary = self.summary
+        lines.append(f"program: {summary.program}")
+        lines.append(
+            f"shared objects: {len(summary.variables)} "
+            f"({sum(1 for c in summary.variables.values() if c in ('data', 'field'))} data)"
+        )
+        lines.append("")
+        lines.append("thread summaries:")
+        for thread in summary.threads:
+            flavor = " (multi-instance)" if thread.multi_instance else ""
+            if thread.top:
+                lines.append(
+                    f"  {thread.label}{flavor}: TOP -- {thread.top_reason}"
+                )
+                continue
+            touched = ", ".join(sorted(thread.touched)) or "(nothing)"
+            lines.append(f"  {thread.label}{flavor}: touches {touched}")
+            if thread.exit_unreleased:
+                held = ", ".join(sorted(thread.exit_unreleased))
+                lines.append(f"    holds at exit: {held}")
+        lines.append("")
+        local = sorted(self.proven_local)
+        if not self.reduction_enabled:
+            lines.append(
+                "proven thread-local: (reduction disabled: some summary is TOP)"
+            )
+        else:
+            lines.append(
+                "proven thread-local: " + (", ".join(local) or "(none)")
+            )
+        prunable, total = self.predicted_reduction
+        if total:
+            share = 100.0 * prunable / total
+            lines.append(
+                f"predicted scheduling-point reduction: {prunable}/{total} "
+                f"static accesses ({share:.0f}%)"
+            )
+        lines.append("")
+        lines.append(f"lock-order edges: {len(self.graph.edges)}")
+        for held, acquired in sorted(self.graph.edges):
+            who = ", ".join(self.graph.contributors.get((held, acquired), ()))
+            lines.append(f"  {held} -> {acquired}  [{who}]")
+        cycles = self.graph.cycles()
+        if cycles:
+            lines.append("lock cycles:")
+            for cycle in cycles:
+                lines.append(f"  {cycle.describe()}")
+        lines.append("")
+        lines.append(f"race candidates: {len(self.candidates)}")
+        for candidate in self.candidates:
+            lines.append(f"  {candidate.describe()}")
+        if self.findings:
+            lines.append("")
+            lines.append(f"lint findings: {len(self.findings)}")
+            for finding in self.findings:
+                lines.append(f"  {finding.describe()}")
+        return "\n".join(lines)
+
+
+def analyze(program: Program) -> ProgramAnalysis:
+    """Convenience wrapper: ``ProgramAnalysis.of(program)``."""
+    return ProgramAnalysis.of(program)

@@ -1,0 +1,151 @@
+"""DSL lint: static anomaly findings over effect-program summaries.
+
+Findings are *warnings about likely mistakes*, not bug reports: the
+dynamic checkers stay the ground truth.  Codes:
+
+``unreleased-lock``
+    A thread can reach its normal exit while definitely holding a lock
+    (the lock is in ``must_held`` on some fall-off-the-end path).
+``double-acquire``
+    A thread acquires a non-re-entrant mutex it definitely already
+    holds -- a guaranteed self-deadlock on that path.
+``wait-never-set``
+    Some thread waits on an event that starts unset and that no thread
+    summary ever signals.  Suppressed when any summary is TOP (the TOP
+    thread might signal it).
+``lock-cycle``
+    The static lock-order graph has a cycle (see
+    :mod:`repro.analysis.lockgraph`): a potential ABBA deadlock.
+
+Each finding carries a stable ``fingerprint`` so a committed baseline
+file can distinguish known findings (e.g. in the intentionally buggy
+builtin programs) from regressions; ``repro lint`` exits nonzero only
+on non-baselined findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from .lockgraph import LockOrderGraph
+from .summary import ProgramSummary
+
+__all__ = ["LintFinding", "lint_program", "load_baseline", "format_baseline"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One static anomaly in a program's synchronization structure."""
+
+    program: str
+    code: str
+    subject: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable identity for baselining: program/code/subject."""
+        return f"{self.program}:{self.code}:{self.subject}"
+
+    def describe(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+def lint_program(
+    summary: ProgramSummary, graph: LockOrderGraph | None = None
+) -> Tuple[LintFinding, ...]:
+    """All lint findings for one analyzed program, sorted."""
+    if graph is None:
+        graph = LockOrderGraph.from_summary(summary)
+    findings: List[LintFinding] = []
+    program = summary.program
+
+    for thread in summary.threads:
+        for lock in sorted(thread.exit_unreleased):
+            findings.append(
+                LintFinding(
+                    program=program,
+                    code="unreleased-lock",
+                    subject=f"{thread.label}:{lock}",
+                    message=(
+                        f"thread {thread.label!r} can exit while still "
+                        f"holding {lock!r}"
+                    ),
+                )
+            )
+        for lock in sorted(set(thread.double_acquires)):
+            findings.append(
+                LintFinding(
+                    program=program,
+                    code="double-acquire",
+                    subject=f"{thread.label}:{lock}",
+                    message=(
+                        f"thread {thread.label!r} acquires non-re-entrant "
+                        f"mutex {lock!r} while already holding it "
+                        "(self-deadlock)"
+                    ),
+                )
+            )
+
+    if not summary.any_top:
+        signalled: Set[str] = set()
+        for thread in summary.threads:
+            signalled.update(thread.signalled_events)
+        for thread in summary.threads:
+            for event in sorted(thread.waited_events):
+                if summary.events_initially_set.get(event, False):
+                    continue
+                if event in signalled:
+                    continue
+                if event not in summary.events_initially_set:
+                    # Not a plain event (e.g. an engine-internal wait);
+                    # out of scope for this lint.
+                    continue
+                findings.append(
+                    LintFinding(
+                        program=program,
+                        code="wait-never-set",
+                        subject=f"{thread.label}:{event}",
+                        message=(
+                            f"thread {thread.label!r} waits on event "
+                            f"{event!r} which starts unset and is never "
+                            "signalled by any thread"
+                        ),
+                    )
+                )
+
+    for cycle in graph.cycles():
+        findings.append(
+            LintFinding(
+                program=program,
+                code="lock-cycle",
+                subject="->".join(cycle.locks),
+                message=cycle.describe(),
+            )
+        )
+
+    return tuple(
+        sorted(findings, key=lambda f: (f.code, f.subject, f.message))
+    )
+
+
+def load_baseline(text: str) -> Set[str]:
+    """Parse a baseline file: one fingerprint per line, ``#`` comments."""
+    out: Set[str] = set()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        out.add(line)
+    return out
+
+
+def format_baseline(findings: Iterable[LintFinding]) -> str:
+    """Render findings as a baseline file body (sorted fingerprints)."""
+    lines = sorted({f.fingerprint for f in findings})
+    header = [
+        "# repro lint baseline: known findings, one fingerprint per line.",
+        "# Regenerate with: repro lint --all --update-baseline <this file>",
+    ]
+    return "\n".join(header + lines) + "\n"

@@ -1,0 +1,111 @@
+"""The static lock acquisition-order graph.
+
+Nodes are lock names (mutexes, critical sections, reader-writer
+locks); a directed edge ``a -> b`` means some thread may acquire ``b``
+while it may already hold ``a``.  Edges are computed from the
+``may_held`` over-approximation of :mod:`repro.analysis.summary`, so
+every ordering any execution can exhibit is present in the graph.
+
+A cycle in this graph is the classic necessary condition for an
+ABBA-style deadlock, reported as a *potential-deadlock* warning.  The
+converse does not hold (a gate elsewhere may make the cycle
+unreachable), which is why these are warnings feeding ``repro lint``
+rather than bug reports: the dynamic checkers remain the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .summary import LOCK_CATEGORIES, ProgramSummary
+
+__all__ = ["LockCycle", "LockOrderGraph"]
+
+
+@dataclass(frozen=True)
+class LockCycle:
+    """A cyclic acquisition order: a potential deadlock."""
+
+    #: The lock names along the cycle, rotated to start at the
+    #: lexicographically smallest (a canonical form, so the same cycle
+    #: found from different start points compares equal).
+    locks: Tuple[str, ...]
+    #: Labels of threads contributing at least one edge of the cycle.
+    threads: Tuple[str, ...]
+
+    def describe(self) -> str:
+        ring = " -> ".join(self.locks + (self.locks[0],))
+        who = ", ".join(self.threads)
+        return f"potential deadlock: lock cycle {ring} (threads: {who})"
+
+
+@dataclass(frozen=True)
+class LockOrderGraph:
+    """The union of every thread's static acquisition edges."""
+
+    #: Every (held, acquired) pair any thread may exhibit.
+    edges: FrozenSet[Tuple[str, str]]
+    #: edge -> labels of the threads that may produce it.
+    contributors: Dict[Tuple[str, str], Tuple[str, ...]]
+
+    @classmethod
+    def from_summary(cls, summary: ProgramSummary) -> "LockOrderGraph":
+        lock_names = {
+            name
+            for name, category in summary.variables.items()
+            if category in LOCK_CATEGORIES
+        }
+        edges: Set[Tuple[str, str]] = set()
+        contributors: Dict[Tuple[str, str], List[str]] = {}
+        for thread in summary.threads:
+            for edge in thread.lock_edges:
+                held, acquired = edge
+                if held not in lock_names or acquired not in lock_names:
+                    continue
+                edges.add(edge)
+                contributors.setdefault(edge, []).append(thread.label)
+        return cls(
+            edges=frozenset(edges),
+            contributors={
+                edge: tuple(sorted(labels))
+                for edge, labels in contributors.items()
+            },
+        )
+
+    def cycles(self) -> Tuple[LockCycle, ...]:
+        """Every elementary cycle, canonicalized and deduplicated.
+
+        The graphs here are tiny (a handful of locks), so a simple
+        DFS-based enumeration is plenty.
+        """
+        adjacency: Dict[str, List[str]] = {}
+        for held, acquired in self.edges:
+            adjacency.setdefault(held, []).append(acquired)
+        for targets in adjacency.values():
+            targets.sort()
+
+        found: Dict[Tuple[str, ...], LockCycle] = {}
+
+        def canonical(path: Tuple[str, ...]) -> Tuple[str, ...]:
+            pivot = min(range(len(path)), key=lambda i: path[i])
+            return path[pivot:] + path[:pivot]
+
+        def walk(start: str, node: str, path: List[str]) -> None:
+            for nxt in adjacency.get(node, ()):
+                if nxt == start:
+                    ring = canonical(tuple(path))
+                    if ring not in found:
+                        labels: Set[str] = set()
+                        cycle_edges = list(zip(path, path[1:] + [path[0]]))
+                        for edge in cycle_edges:
+                            labels.update(self.contributors.get(edge, ()))
+                        found[ring] = LockCycle(ring, tuple(sorted(labels)))
+                elif nxt > start and nxt not in path:
+                    # Only enumerate cycles whose smallest node is the
+                    # start, so each elementary cycle is found once.
+                    walk(start, nxt, path + [nxt])
+
+        for start in sorted(adjacency):
+            walk(start, start, [start])
+        return tuple(found[ring] for ring in sorted(found))

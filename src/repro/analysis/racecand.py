@@ -1,0 +1,139 @@
+"""Eraser-style static race candidates.
+
+A *race candidate* is a pair of threads and a data variable where (1)
+both threads may access the variable, (2) at least one side may write
+it, and (3) the intersection of the locksets the two accesses are
+*definitely* protected by is empty.  Because the per-access locksets
+come from the ``must_held`` under-approximation of
+:mod:`repro.analysis.summary`, a smaller must-lockset can only *add*
+candidates; combined with accesses being over-approximated, the
+candidate set is a guaranteed superset of every data race the dynamic
+happens-before detector in :mod:`repro.races` can ever report.  (The
+cross-validation test in ``tests/analysis`` pins this invariant to the
+actual detectors.)
+
+Only plain data variables race (``data`` and ``field`` categories);
+atomic variables and synchronization objects are race-free by
+construction, matching the dynamic detector which only checks
+non-sync accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..core.effects import EffectKind
+from .summary import DATA_CATEGORIES, ProgramSummary, StaticAccess, ThreadSummary
+
+__all__ = ["RaceCandidate", "race_candidates"]
+
+_DATA_ACCESS_KINDS = frozenset(
+    {
+        EffectKind.READ,
+        EffectKind.WRITE,
+        EffectKind.HEAP_READ,
+        EffectKind.HEAP_WRITE,
+        EffectKind.FREE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class RaceCandidate:
+    """A possibly-racing (variable, thread pair) combination."""
+
+    variable: str
+    first_thread: str
+    second_thread: str
+
+    def describe(self) -> str:
+        if self.first_thread == self.second_thread:
+            who = f"two instances of {self.first_thread}"
+        else:
+            who = f"{self.first_thread} and {self.second_thread}"
+        return f"race candidate: {self.variable} between {who}"
+
+
+def _data_accesses(
+    thread: ThreadSummary, data_vars: FrozenSet[str]
+) -> Dict[str, List[StaticAccess]]:
+    out: Dict[str, List[StaticAccess]] = {}
+    for access in thread.accesses:
+        if access.kind in _DATA_ACCESS_KINDS and access.variable in data_vars:
+            out.setdefault(access.variable, []).append(access)
+    return out
+
+
+def _may_race(a: StaticAccess, b: StaticAccess) -> bool:
+    if not (a.is_write or b.is_write):
+        return False
+    return not (a.must_locks & b.must_locks)
+
+
+def race_candidates(summary: ProgramSummary) -> Tuple[RaceCandidate, ...]:
+    """All (variable, thread-pair) candidates, sorted and deduplicated.
+
+    A TOP thread may access every data variable unlocked, so it forms a
+    candidate with every other thread (and with itself: a TOP summary
+    may describe a multi-instance body) on every data variable.
+    """
+    data_vars = frozenset(
+        name
+        for name, category in summary.variables.items()
+        if category in DATA_CATEGORIES
+    )
+    threads = summary.threads
+    per_thread = [_data_accesses(t, data_vars) for t in threads]
+
+    found: Set[Tuple[str, str, str]] = set()
+
+    def note(variable: str, first: str, second: str) -> None:
+        a, b = sorted((first, second))
+        found.add((variable, a, b))
+
+    for i, ti in enumerate(threads):
+        # Self-candidates: a body that can run as several instances
+        # races with its sibling instances exactly like a distinct
+        # thread would.
+        if ti.multi_instance:
+            if ti.top:
+                for variable in data_vars:
+                    note(variable, ti.label, ti.label)
+            else:
+                for variable, accesses in per_thread[i].items():
+                    if any(
+                        _may_race(a, b) for a in accesses for b in accesses
+                    ):
+                        note(variable, ti.label, ti.label)
+        for j in range(i + 1, len(threads)):
+            tj = threads[j]
+            if ti.top and tj.top:
+                for variable in data_vars:
+                    note(variable, ti.label, tj.label)
+                continue
+            if ti.top or tj.top:
+                concrete = per_thread[j] if ti.top else per_thread[i]
+                concrete_thread = tj if ti.top else ti
+                top_thread = ti if ti.top else tj
+                # The TOP side may read and write everything with no
+                # locks held, so any access on the concrete side forms
+                # a candidate.
+                for variable in concrete:
+                    note(variable, top_thread.label, concrete_thread.label)
+                # Variables only the TOP side touches still race
+                # against its own potential second instance, handled in
+                # the self-candidate pass above.
+                continue
+            shared = set(per_thread[i]) & set(per_thread[j])
+            for variable in shared:
+                if any(
+                    _may_race(a, b)
+                    for a in per_thread[i][variable]
+                    for b in per_thread[j][variable]
+                ):
+                    note(variable, ti.label, tj.label)
+
+    return tuple(
+        RaceCandidate(variable, a, b) for variable, a, b in sorted(found)
+    )

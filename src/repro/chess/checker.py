@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..analysis import ProgramAnalysis
     from ..obs.instrument import Instrumentation
     from ..parallel.coordinator import ParallelSettings
 
@@ -92,9 +93,49 @@ class ChessChecker:
 
     # -- state-space construction -----------------------------------------
 
-    def space(self, obs: Optional["Instrumentation"] = None) -> ProgramStateSpace:
+    def space(
+        self,
+        obs: Optional["Instrumentation"] = None,
+        analysis: Optional["ProgramAnalysis"] = None,
+    ) -> ProgramStateSpace:
         """A fresh replay-based state space for this program."""
-        return ProgramStateSpace(self.program, self.config, obs=obs)
+        return ProgramStateSpace(
+            self.program, self.config, obs=obs, analysis=analysis
+        )
+
+    def analyze(
+        self, obs: Optional["Instrumentation"] = None
+    ) -> "ProgramAnalysis":
+        """Run the static analysis pass over this checker's program.
+
+        Timed under the ``analysis`` profiling phase and reported as an
+        ``analysis_completed`` milestone when instrumented.
+        """
+        from ..analysis import analyze
+
+        if obs is None:
+            return analyze(self.program)
+        t0 = obs.hook_analysis.start()
+        result = analyze(self.program)
+        obs.hook_analysis.stop(t0)
+        obs.analysis_completed(result)
+        return result
+
+    def _resolve_analysis(
+        self,
+        analysis: Union[bool, "ProgramAnalysis", None],
+        obs: Optional["Instrumentation"],
+    ) -> Optional["ProgramAnalysis"]:
+        if analysis is None or analysis is False:
+            return None
+        if analysis is True:
+            return self.analyze(obs=obs)
+        if analysis.program != self.program.name:
+            raise ValueError(
+                f"analysis is for program {analysis.program!r}, "
+                f"not {self.program.name!r}"
+            )
+        return analysis
 
     # -- checking entry points -----------------------------------------------
 
@@ -109,6 +150,7 @@ class ChessChecker:
         trace_dir: Optional[Union[str, pathlib.Path]] = None,
         trace_spec: Optional[str] = None,
         obs: Optional["Instrumentation"] = None,
+        analysis: Union[bool, "ProgramAnalysis", None] = None,
     ) -> CheckResult:
         """Explore the program; by default with ICB until exhaustion.
 
@@ -140,10 +182,24 @@ class ChessChecker:
                 metrics and phase timings flow through it (see
                 ``docs/observability.md``).  Under ``workers`` the
                 coordinator merges per-worker metric snapshots into it.
+            analysis: opt-in static-analysis search reduction (see
+                ``docs/analysis.md``).  ``True`` runs the analysis
+                pass here; a precomputed
+                :class:`~repro.analysis.ProgramAnalysis` for this
+                program is used as-is.  Proven thread-local accesses
+                stop generating ICB deferrals; any TOP summary
+                disables the reduction, making the flag always safe.
+                Not supported together with ``workers`` (the frontier
+                shards would each re-derive it; run the analysis once
+                and shard the already-pruned search instead).
         """
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         if workers is not None and workers > 1:
+            if analysis:
+                raise ValueError(
+                    "analysis is not supported with parallel workers yet"
+                )
             if strategy is not None:
                 raise ValueError("workers only applies to the default ICB strategy")
             if state_caching:
@@ -178,7 +234,10 @@ class ChessChecker:
             )
         elif max_bound is not None:
             raise ValueError("pass max_bound only when using the default strategy")
-        result = strategy.run(self.space(obs=obs), limits=limits, obs=obs)
+        resolved = self._resolve_analysis(analysis, obs)
+        result = strategy.run(
+            self.space(obs=obs, analysis=resolved), limits=limits, obs=obs
+        )
         certified = result.extras.get("completed_bound")
         if certified is None and result.completed:
             # Non-ICB strategies that exhausted the space certify all bounds.
@@ -199,6 +258,7 @@ class ChessChecker:
         trace_dir: Optional[Union[str, pathlib.Path]] = None,
         trace_spec: Optional[str] = None,
         obs: Optional["Instrumentation"] = None,
+        analysis: Union[bool, "ProgramAnalysis", None] = None,
     ) -> Optional[BugReport]:
         """Run ICB until the first bug; its witness is preemption-minimal.
 
@@ -219,6 +279,7 @@ class ChessChecker:
             trace_dir=trace_dir,
             trace_spec=trace_spec,
             obs=obs,
+            analysis=analysis,
         )
         return result.search.first_bug
 

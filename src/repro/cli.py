@@ -9,6 +9,17 @@ Checks a built-in benchmark program (or any program importable as
     python -m repro check mypkg.mymod:make_program --strategy dfs
     python -m repro explain wsq:pop-race
 
+The static-analysis subsystem (see ``docs/analysis.md``) is exposed
+three ways: ``analyze`` prints a program's access summaries, lock
+graph and race candidates; ``lint`` reports static anomalies (exiting
+non-zero on findings not recorded in a ``--baseline`` file); and
+``check --analysis`` applies the analysis-driven scheduling-point
+reduction during the search::
+
+    python -m repro analyze wsq:pop-race
+    python -m repro lint --all --baseline ci/lint-baseline.txt
+    python -m repro check toy:stats-race --analysis
+
 ``check`` exits non-zero when a bug is found, so the CLI slots into CI
 pipelines the way the paper envisions systematic testing replacing
 stress testing.  Found bugs become durable, shippable artifacts
@@ -132,6 +143,10 @@ def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
                         help="time every schedule/execute/fingerprint/"
                         "race-detect/cache-lookup call and print a phase "
                         "profile (adds overhead)")
+    parser.add_argument("--analysis", action="store_true",
+                        help="run the static analysis pass first and apply "
+                        "the scheduling-point reduction it proves sound "
+                        "(see docs/analysis.md; not with --workers)")
 
 
 def _make_obs(args: argparse.Namespace, limits: SearchLimits):
@@ -176,6 +191,66 @@ def _parallel_settings(args: argparse.Namespace):
     from .parallel.coordinator import ParallelSettings
 
     return ParallelSettings(progress_interval=args.progress_interval)
+
+
+def _analysis_specs(args: argparse.Namespace) -> list:
+    """The program specs an analyze/lint invocation covers."""
+    if getattr(args, "all", False):
+        if args.program is not None:
+            raise SystemExit("pass a PROGRAM or --all, not both")
+        return sorted(_builtin_programs())
+    if args.program is None:
+        raise SystemExit("pass a PROGRAM or --all")
+    return [args.program]
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze
+
+    first = True
+    for spec in _analysis_specs(args):
+        if not first:
+            print()
+        first = False
+        print(analyze(_resolve_program(spec)).render())
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import analyze, format_baseline, load_baseline
+
+    findings: list = []
+    for spec in _analysis_specs(args):
+        findings.extend(analyze(_resolve_program(spec)).findings)
+    if args.update_baseline:
+        with open(args.update_baseline, "w", encoding="utf-8") as fh:
+            fh.write(format_baseline(findings))
+        print(f"wrote {len(findings)} fingerprint(s) to {args.update_baseline}")
+        return 0
+    baseline = set()
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = load_baseline(fh.read())
+        except OSError as exc:
+            raise SystemExit(str(exc))
+    fresh: list = []
+    for finding in findings:
+        known = finding.fingerprint in baseline
+        if not known:
+            fresh.append(finding)
+        suffix = "  (baselined)" if known else ""
+        print(f"{finding.program}: {finding.describe()}{suffix}")
+    if fresh:
+        print(
+            f"{len(fresh)} finding(s) not in the baseline", file=sys.stderr
+        )
+        return 1
+    if findings:
+        print(f"{len(findings)} finding(s), all baselined")
+    else:
+        print("no findings")
+    return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -237,7 +312,8 @@ def _cmd_trace_save(args: argparse.Namespace) -> int:
     )
     obs = _make_obs(args, limits)
     bug = checker.find_bug(
-        max_bound=args.bound, limits=limits, workers=args.workers, obs=obs
+        max_bound=args.bound, limits=limits, workers=args.workers, obs=obs,
+        analysis=args.analysis,
     )
     _finish_obs(args, obs)
     if bug is None:
@@ -357,6 +433,32 @@ def main(argv: Optional[list] = None) -> int:
     )
     stats_parser.add_argument("file", help="a repro-metrics or repro-events file")
 
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="print a program's static access summaries, lock graph and "
+        "race candidates",
+    )
+    analyze_parser.add_argument("program", nargs="?", default=None,
+                                help="built-in name or module:factory")
+    analyze_parser.add_argument("--all", action="store_true",
+                                help="analyze every built-in program")
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="report static synchronization anomalies; non-zero exit on "
+        "findings missing from the baseline",
+    )
+    lint_parser.add_argument("program", nargs="?", default=None,
+                             help="built-in name or module:factory")
+    lint_parser.add_argument("--all", action="store_true",
+                             help="lint every built-in program")
+    lint_parser.add_argument("--baseline", default=None, metavar="FILE",
+                             help="known-findings file; only findings not "
+                             "listed there fail the run")
+    lint_parser.add_argument("--update-baseline", default=None, metavar="FILE",
+                             help="write the current findings as the new "
+                             "baseline and exit 0")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -373,6 +475,10 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_corpus_run(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
 
     program = _resolve_program(args.program)
     checker = ChessChecker(program, _make_config(args))
@@ -386,6 +492,8 @@ def main(argv: Optional[list] = None) -> int:
         raise SystemExit("--workers must be at least 1")
     if args.workers is not None and args.strategy != "icb":
         raise SystemExit("--workers requires the default icb strategy")
+    if args.analysis and args.workers is not None and args.workers > 1:
+        raise SystemExit("--analysis is not supported with --workers")
     parallel_settings = _parallel_settings(args)
     obs = _make_obs(args, limits)
 
@@ -397,6 +505,7 @@ def main(argv: Optional[list] = None) -> int:
             max_bound=args.bound, limits=limits, workers=args.workers,
             parallel_settings=parallel_settings,
             trace_dir=args.trace_dir, trace_spec=args.program, obs=obs,
+            analysis=args.analysis,
         )
         _finish_obs(args, obs)
         if bug is None:
@@ -417,6 +526,7 @@ def main(argv: Optional[list] = None) -> int:
         trace_dir=args.trace_dir,
         trace_spec=args.program,
         obs=obs,
+        analysis=args.analysis,
     )
     _finish_obs(args, obs)
     print(result.summary())

@@ -24,6 +24,7 @@ per hook site.  See ``docs/observability.md``.
 
 from .events import (
     EVENT_TYPES,
+    AnalysisCompleted,
     BoundCompleted,
     BoundStarted,
     BugFound,
@@ -54,6 +55,7 @@ from .sinks import (
 
 __all__ = [
     "EVENT_TYPES",
+    "AnalysisCompleted",
     "BoundCompleted",
     "BoundStarted",
     "BugFound",

@@ -148,6 +148,24 @@ class RaceChecked(Event):
 
 
 @dataclass(frozen=True)
+class AnalysisCompleted(Event):
+    """The static analysis pass finished (before the search started).
+
+    ``top_threads`` counts summaries that fell back to TOP; any
+    nonzero value means the scheduling-point reduction is disabled
+    for the run (see ``docs/analysis.md``)."""
+
+    kind: ClassVar[str] = "analysis_completed"
+
+    program: str
+    threads: int
+    top_threads: int
+    proven_local: int
+    candidates: int
+    findings: int
+
+
+@dataclass(frozen=True)
 class WorkerHeartbeat(Event):
     """Progress streamed by one parallel worker (cumulative totals)."""
 
@@ -173,6 +191,7 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         StateVisited,
         BugFound,
         RaceChecked,
+        AnalysisCompleted,
         WorkerHeartbeat,
     )
 }

@@ -27,6 +27,7 @@ import time
 from typing import TYPE_CHECKING, Optional
 
 from .events import (
+    AnalysisCompleted,
     BoundCompleted,
     BoundStarted,
     BugFound,
@@ -43,6 +44,7 @@ from .metrics import MetricsRegistry, MetricsSnapshot, SampledTimer
 from .profile import Profiler
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..analysis import ProgramAnalysis
     from ..errors import BugReport
 
 
@@ -118,6 +120,7 @@ class Instrumentation:
             "race-detect", registry.timer("race_check_latency", sample_stride), profiler
         )
         self.hook_cache = _PhaseHook("cache-lookup", None, profiler)
+        self.hook_analysis = _PhaseHook("analysis", None, profiler)
 
     def now(self) -> float:
         """Seconds since this instrumentation was armed."""
@@ -228,6 +231,23 @@ class Instrumentation:
                     message=bug.message,
                     preemptions=bug.preemptions,
                     new=new,
+                )
+            )
+
+    def analysis_completed(self, analysis: "ProgramAnalysis") -> None:
+        """Milestone: the pre-search static analysis pass finished."""
+        self.metrics.add("analyses")
+        if self.bus.active:
+            summary = analysis.summary
+            self.bus.emit(
+                AnalysisCompleted(
+                    self.now(),
+                    program=summary.program,
+                    threads=len(summary.threads),
+                    top_threads=sum(1 for t in summary.threads if t.top),
+                    proven_local=len(analysis.proven_local),
+                    candidates=len(analysis.candidates),
+                    findings=len(analysis.findings),
                 )
             )
 

@@ -1,7 +1,9 @@
 """Phase timers: where does the wall time of a search go?
 
-The search loop decomposes into five recurring kinds of work:
+The search loop decomposes into recurring kinds of work:
 
+* ``analysis`` -- the one-shot static analysis pass before the search
+  starts (``ChessChecker(..., analysis=True)``);
 * ``schedule`` -- asking the space which threads are enabled;
 * ``execute`` -- running one transition (including stateless replay);
 * ``fingerprint`` -- canonical state hashing;
@@ -24,6 +26,7 @@ from typing import Dict, Optional, Tuple
 
 #: Canonical phase names, in reporting order.
 PHASES: Tuple[str, ...] = (
+    "analysis",
     "schedule",
     "execute",
     "fingerprint",

@@ -71,6 +71,10 @@ def builtin_registry() -> Dict[str, Callable[[], Program]]:
         "toy:dekker": toy.dekker,
         "toy:peterson": toy.peterson,
         "toy:uaf": toy.use_after_free_toy,
+        "toy:chain": toy.chain_program,
+        "toy:stats-race": toy.stats_race,
+        "toy:stats-assert": toy.stats_assert,
+        "toy:stats-deadlock": toy.stats_deadlock,
     }
     for variant in workstealqueue.VARIANTS:
         registry[f"wsq:{variant}"] = (

@@ -387,6 +387,136 @@ def chain_program(n_threads: int = 2, steps: int = 2) -> Program:
     return Program(f"chain-{n_threads}x{steps}", setup)
 
 
+def stats_race(rounds: int = 2) -> Program:
+    """A data race surrounded by thread-local statistics counters.
+
+    Each thread keeps a per-thread atomic operation counter (``ops0``,
+    ``ops1``) around its accesses to the shared unlocked ``stat``
+    variable.  The counters are scheduling points (atomic accesses)
+    that static analysis proves thread-local, so the analysis-driven
+    reduction skips every deferral at them; the race itself is already
+    unordered in the round-robin execution and is reported at
+    preemption bound zero, where ICB defers nothing.  Both facts
+    together make this a program where ``analysis=True`` must find the
+    *identical* bug witnesses with strictly fewer transitions (the
+    acceptance test in ``tests/analysis``).
+    """
+
+    def setup(w: World):
+        stat = w.var("stat", 0)
+        ops0 = w.atomic("ops0", 0)
+        ops1 = w.atomic("ops1", 0)
+
+        def writer():
+            for i in range(rounds):
+                yield ops0.add(1)
+                yield stat.write(i + 1)
+            yield ops0.add(1)
+
+        def reader():
+            for _ in range(rounds):
+                yield ops1.add(1)
+                yield stat.read()
+            yield ops1.add(1)
+
+        return {"t0": writer, "t1": reader}
+
+    return Program(f"stats-race-{rounds}", setup)
+
+
+def stats_assert(increments: int = 2) -> Program:
+    """Atomic-counter lost update amid thread-local bookkeeping.
+
+    Two workers perform the classic non-atomic ``v = read(); write(v +
+    1)`` on a shared atomic ``total``, each also bumping a private
+    atomic ``ops<i>`` before every update and signalling a done event
+    at the end; a checker thread waits for both events and asserts the
+    total.  (Root-spec threads rather than ``spawn``: the analyzer
+    treats all instances of a spawned body as one multi-instance
+    summary, which would stop the per-worker counters from being
+    proven thread-local.)  Exposing the lost update requires
+    preempting a worker *between its read and write of ``total``* --
+    both scheduling points on a shared variable, which the reduction
+    never touches.  A preemption spent at a proven-local ``ops<i>``
+    access instead leaves no budget for a second one, so the rest of
+    that execution is serial and the assertion holds: the pruned
+    subtrees are exactly the bug-free ones, keeping the found
+    witnesses identical.
+    """
+
+    def setup(w: World):
+        total = w.atomic("total", 0)
+        ops = [w.atomic(f"ops{i}", 0) for i in range(2)]
+        done = [w.event(f"done{i}") for i in range(2)]
+
+        def worker(i: int):
+            for _ in range(increments):
+                yield ops[i].add(1)
+                value = yield total.read()
+                yield total.write(value + 1)
+            yield done[i].set()
+
+        def checker():
+            yield done[0].wait()
+            yield done[1].wait()
+            final = yield total.read()
+            check(
+                final == 2 * increments,
+                f"lost update: expected {2 * increments}, got {final}",
+            )
+
+        return [
+            ("w0", worker, (0,)),
+            ("w1", worker, (1,)),
+            ("checker", checker, ()),
+        ]
+
+    return Program(f"stats-assert-{increments}", setup)
+
+
+def stats_deadlock() -> Program:
+    """The ABBA deadlock with thread-local counters outside the locks.
+
+    Identical to :func:`lock_order_deadlock` except each thread bumps
+    a private atomic counter before its first acquire and after its
+    last release.  The counters are proven thread-local, so the
+    reduction prunes the deferrals at them; the deadlock still needs
+    (and gets) the preemption between the two acquires, where the
+    pending effect is an ``ACQUIRE`` the reduction never prunes.
+    """
+
+    def setup(w: World):
+        lock_a = w.mutex("A")
+        lock_b = w.mutex("B")
+        shared = w.var("shared", 0)
+        c0 = w.atomic("c0", 0)
+        c1 = w.atomic("c1", 0)
+
+        def forward():
+            yield c0.add(1)
+            yield lock_a.acquire()
+            yield lock_b.acquire()
+            value = yield shared.read()
+            yield shared.write(value + 1)
+            yield lock_b.release()
+            yield lock_a.release()
+            yield c0.add(1)
+
+        def backward():
+            yield c1.add(1)
+            yield lock_b.acquire()
+            yield lock_a.acquire()
+            value = yield shared.read()
+            yield shared.write(value - 1)
+            yield lock_a.release()
+            yield lock_b.release()
+            yield c1.add(1)
+
+        return {"fwd": forward, "bwd": backward}
+
+    return Program("stats-deadlock", setup)
+
+
 def yielding_pair() -> Program:
     """Two threads with explicit yields (exercises YIELD semantics)."""
 

@@ -17,7 +17,13 @@ checked for data races.  This package provides:
 """
 
 from .goldilocks import GoldilocksDetector
-from .happens_before import HBTracker, RaceInfo
+from .happens_before import HBTracker, RaceInfo, race_variable_from_message
 from .vectorclock import VectorClock
 
-__all__ = ["GoldilocksDetector", "HBTracker", "RaceInfo", "VectorClock"]
+__all__ = [
+    "GoldilocksDetector",
+    "HBTracker",
+    "RaceInfo",
+    "VectorClock",
+    "race_variable_from_message",
+]

@@ -160,3 +160,19 @@ class HBTracker:
                 races.append(RaceInfo(variable.name, prev, True, epoch, False))
             state.reads[tid] = clock.get(tid)
         return clock, races
+
+
+def race_variable_from_message(message: str) -> Optional[str]:
+    """The variable a :meth:`RaceInfo.describe` message is about.
+
+    The inverse of the ``"data race on <variable>: ..."`` format used
+    in race bug reports; returns ``None`` for any other message.  The
+    static/dynamic cross-validation in ``tests/analysis`` uses this to
+    map reported races back onto variables without re-running the
+    detector.
+    """
+    prefix = "data race on "
+    if not message.startswith(prefix):
+        return None
+    variable, sep, _ = message[len(prefix) :].partition(": ")
+    return variable if sep else None

@@ -26,7 +26,11 @@ ZING space.
 """
 
 from .dfs import DepthFirstSearch
-from .heuristics import EnabledThreadsHeuristic
+from .heuristics import (
+    EnabledThreadsHeuristic,
+    FrontierPrioritizer,
+    RaceCandidatePrioritizer,
+)
 from .icb import IterativeContextBounding
 from .pct import PCTScheduler
 from .por import SleepSetDFS
@@ -38,9 +42,11 @@ from .strategy import SearchContext, SearchLimits, SearchResult, Strategy
 __all__ = [
     "DepthFirstSearch",
     "EnabledThreadsHeuristic",
+    "FrontierPrioritizer",
     "IterativeContextBounding",
     "IterativeDeepening",
     "PCTScheduler",
+    "RaceCandidatePrioritizer",
     "RandomWalk",
     "SleepSetDFS",
     "SearchContext",

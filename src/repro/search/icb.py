@@ -24,7 +24,10 @@ Consequences (Section 2 of the paper), all preserved here:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .heuristics import FrontierPrioritizer
 
 from ..core.thread import ThreadId
 from ..core.transition import StateSpace
@@ -32,6 +35,10 @@ from .statecache import WorkItemCache
 from .strategy import SearchContext, Strategy
 
 WorkItem = Tuple[object, ThreadId]
+
+#: space.analysis_prunable, bound to the space (see FrontierPrioritizer
+#: in :mod:`repro.search.heuristics` for the companion ordering hook).
+_PruneTest = Callable[[object, ThreadId], bool]
 
 
 class IterativeContextBounding(Strategy):
@@ -42,23 +49,39 @@ class IterativeContextBounding(Strategy):
             (``None`` explores bounds until the space is exhausted).
         state_caching: enable the work-item table of Algorithm 1
             (the ZING configuration; CHESS runs without it).
+        prioritizer: optional frontier ordering hook (e.g.
+            :class:`~repro.search.heuristics.RaceCandidatePrioritizer`);
+            applied to the deferred queue at every bound increment.
+            Ordering within one bound never affects which executions
+            the bound explores, so the certified-bound guarantee is
+            untouched -- only discovery order within the bound shifts.
     """
 
     name = "icb"
 
     def __init__(
-        self, max_bound: Optional[int] = None, state_caching: bool = False
+        self,
+        max_bound: Optional[int] = None,
+        state_caching: bool = False,
+        prioritizer: Optional["FrontierPrioritizer"] = None,
     ) -> None:
         if max_bound is not None and max_bound < 0:
             raise ValueError("max_bound must be non-negative")
         self.max_bound = max_bound
         self.state_caching = state_caching
+        self.prioritizer = prioritizer
 
     def _search(
         self, space: StateSpace, ctx: SearchContext, extras: Dict[str, Any]
     ) -> None:
         cache = WorkItemCache() if self.state_caching else None
         initial = space.initial_state()
+
+        # The static-analysis reduction: only spaces carrying a
+        # ProgramAnalysis expose a usable analysis_prunable.
+        prune: Optional[_PruneTest] = None
+        if getattr(space, "analysis", None) is not None:
+            prune = getattr(space, "analysis_prunable", None)
 
         work_queue: Deque[WorkItem] = deque()
         next_queue: Deque[WorkItem] = deque()
@@ -75,7 +98,7 @@ class IterativeContextBounding(Strategy):
                 obs.bound_started(bound, len(work_queue))
             while work_queue:
                 item = work_queue.popleft()
-                self._search_item(space, ctx, item, next_queue, cache)
+                self._search_item(space, ctx, item, next_queue, cache, prune)
             # All executions with at most `bound` preemptions explored.
             extras["completed_bound"] = bound
             if obs is not None:
@@ -85,8 +108,13 @@ class IterativeContextBounding(Strategy):
             if self.max_bound is not None and bound >= self.max_bound:
                 break
             bound += 1
+            if self.prioritizer is not None:
+                next_queue = deque(
+                    self.prioritizer.sort_frontier(space, next_queue)
+                )
             work_queue, next_queue = next_queue, deque()
         extras["final_frontier"] = len(next_queue)
+        extras["analysis_pruned"] = ctx.analysis_pruned
         if cache is not None:
             extras["cache_hits"] = cache.hits
             extras["cache_size"] = len(cache)
@@ -98,6 +126,7 @@ class IterativeContextBounding(Strategy):
         item: WorkItem,
         next_queue: Deque[WorkItem],
         cache: Optional[WorkItemCache],
+        prune: Optional[_PruneTest] = None,
     ) -> None:
         """The recursive ``Search`` procedure, iteratively.
 
@@ -125,6 +154,16 @@ class IterativeContextBounding(Strategy):
                 # The running thread may continue: scheduling any other
                 # enabled thread here would be a preemption.
                 stack.append((successor, tid))
+                if (
+                    prune is not None
+                    and len(enabled) > 1
+                    and prune(successor, tid)
+                ):
+                    # The next step is a proven-thread-local data
+                    # access: preempting here commutes with letting
+                    # `tid` take it, so every deferral is redundant.
+                    ctx.analysis_pruned += len(enabled) - 1
+                    continue
                 for other in enabled:
                     if other != tid:
                         next_queue.append((successor, other))

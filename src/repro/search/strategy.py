@@ -100,6 +100,9 @@ class SearchContext:
         self.bugs: Dict[Tuple[Any, ...], BugReport] = {}
         self.executions = 0
         self.transitions = 0
+        #: Deferrals ICB skipped because static analysis proved the
+        #: preempted step thread-local (see ``docs/analysis.md``).
+        self.analysis_pruned = 0
         #: Bounded recorder behind the :attr:`history` property.
         self._history = CoverageRecorder(max_samples=history_samples)
         self.max_steps = 0
@@ -344,6 +347,7 @@ class SearchResult:
                     merged.bugs[bug.signature] = bug
             merged.executions += ctx.executions
             merged.transitions += ctx.transitions
+            merged.analysis_pruned += getattr(ctx, "analysis_pruned", 0)
             merged.max_steps = max(merged.max_steps, ctx.max_steps)
             merged.max_blocking = max(merged.max_blocking, ctx.max_blocking)
             merged.max_preemptions = max(merged.max_preemptions, ctx.max_preemptions)

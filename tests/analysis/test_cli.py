@@ -1,0 +1,82 @@
+"""CLI coverage for ``repro analyze``, ``repro lint`` and ``check --analysis``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = "tests.analysis.fixtures"
+
+
+class TestAnalyze:
+    def test_single_program(self, capsys):
+        assert main(["analyze", "toy:stats-race"]) == 0
+        out = capsys.readouterr().out
+        assert "stats-race" in out
+        assert "ops0" in out
+
+    def test_module_factory_spec(self, capsys):
+        assert main(["analyze", f"{FIXTURES}:opaque_program"]) == 0
+        out = capsys.readouterr().out
+        assert "TOP" in out
+
+    def test_all_builtins(self, capsys):
+        assert main(["analyze", "--all"]) == 0
+        out = capsys.readouterr().out
+        # One block per builtin, blank-line separated.
+        assert "program: bluetooth" in out
+        assert "program: wsq" in out
+        assert "program: stats-race" in out
+
+    def test_program_and_all_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "toy:chain", "--all"])
+
+    def test_neither_program_nor_all(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+
+
+class TestLint:
+    def test_findings_exit_nonzero(self, capsys):
+        code = main(["lint", f"{FIXTURES}:double_acquire_program"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "double-acquire" in captured.out
+        assert "not in the baseline" in captured.err
+
+    def test_clean_program_exits_zero(self, capsys):
+        assert main(["lint", "toy:racy-counter"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        spec = f"{FIXTURES}:unreleased_lock_program"
+        assert main(["lint", spec, "--update-baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        assert main(["lint", spec, "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "(baselined)" in out
+        assert "all baselined" in out
+
+    def test_missing_baseline_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lint", "toy:chain", "--baseline", str(tmp_path / "nope.txt")])
+
+
+class TestCheckAnalysis:
+    def test_buggy_program_still_fails(self):
+        # --analysis must not mask the assertion failure.
+        code = main(["check", "toy:stats-race", "--analysis", "--bound", "1"])
+        assert code != 0
+
+    def test_clean_program_passes(self):
+        code = main(["check", "toy:chain", "--analysis", "--bound", "1"])
+        assert code == 0
+
+    def test_analysis_with_workers_is_rejected(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["check", "toy:chain", "--analysis", "--workers", "2"])

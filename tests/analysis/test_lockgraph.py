@@ -1,0 +1,61 @@
+"""Unit tests for the static lock-order graph and its cycles."""
+
+from __future__ import annotations
+
+from repro.analysis import LockOrderGraph, analyze_program
+from repro.programs import toy
+
+
+class TestEdges:
+    def test_abba_produces_both_edges(self):
+        summary = analyze_program(toy.lock_order_deadlock())
+        graph = LockOrderGraph.from_summary(summary)
+        assert ("A", "B") in graph.edges
+        assert ("B", "A") in graph.edges
+        assert graph.contributors[("A", "B")] == ("fwd",)
+        assert graph.contributors[("B", "A")] == ("bwd",)
+
+    def test_single_lock_has_no_edges(self):
+        summary = analyze_program(toy.locked_counter())
+        graph = LockOrderGraph.from_summary(summary)
+        assert graph.edges == frozenset()
+
+
+class TestCycles:
+    def test_abba_cycle_detected_and_canonical(self):
+        summary = analyze_program(toy.lock_order_deadlock())
+        cycles = LockOrderGraph.from_summary(summary).cycles()
+        assert len(cycles) == 1
+        cycle = cycles[0]
+        assert cycle.locks == ("A", "B")  # rotated to smallest first
+        assert cycle.threads == ("bwd", "fwd")
+        assert "potential deadlock" in cycle.describe()
+        assert "A -> B -> A" in cycle.describe()
+
+    def test_consistent_order_has_no_cycle(self):
+        # Same two locks, both threads acquire A before B: acyclic.
+        from repro import Program
+
+        def setup(w):
+            lock_a = w.mutex("A")
+            lock_b = w.mutex("B")
+            value = w.var("value", 0)
+
+            def worker(delta):
+                yield lock_a.acquire()
+                yield lock_b.acquire()
+                current = yield value.read()
+                yield value.write(current + delta)
+                yield lock_b.release()
+                yield lock_a.release()
+
+            return [("t0", worker, (1,)), ("t1", worker, (-1,))]
+
+        summary = analyze_program(Program("ordered", setup))
+        graph = LockOrderGraph.from_summary(summary)
+        assert ("A", "B") in graph.edges
+        assert graph.cycles() == ()
+
+    def test_stats_deadlock_keeps_its_cycle(self):
+        summary = analyze_program(toy.stats_deadlock())
+        assert len(LockOrderGraph.from_summary(summary).cycles()) == 1

@@ -45,6 +45,9 @@ BUGGY_BOUNDS = {
     "toy:atomic-counter": 1,
     "toy:deadlock": 1,
     "toy:uaf": 0,
+    "toy:stats-race": 0,
+    "toy:stats-assert": 1,
+    "toy:stats-deadlock": 1,
 }
 
 #: Built-ins expected to be correct (certified, not round-tripped).
@@ -56,6 +59,7 @@ CORRECT = {
     "dryad",
     "toy:dekker",
     "toy:peterson",
+    "toy:chain",
 }
 
 
