@@ -1,0 +1,150 @@
+"""The durable-service fast paths: cold vs warm-cache vs resumed.
+
+Three regimes of the same exhaustive check, on three built-ins:
+
+* **cold** -- a fresh search that populates the result cache;
+* **warm** -- an identical resubmission served entirely from the
+  cache (``extras["cache_hit"]``), exploring *zero* executions;
+* **resumed** -- the search interrupted at roughly half its
+  transitions by a ``SearchLimits`` budget (checkpointing as it
+  goes), then completed from the checkpoint by a second checker.
+
+Asserted shape:
+
+* every regime reports identical executions, transitions, distinct
+  states and certified bound (cache hits and resumes are exact, the
+  property ``tests/service`` proves per-builtin);
+* the warm run is a cache hit and explores nothing, so it is at
+  least 10x faster than the cold run on every workload;
+* the resumed *completion* run costs less wall clock than the cold
+  run -- the work done before the interruption is not redone.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ChessChecker, ResultCache, SearchLimits
+from repro.programs import resolve_builtin
+
+from _common import emit, run_once
+
+#: (spec, max_bound) -- the three service CI workloads: enough work
+#: that cold wall clock is measurable, small enough to stay fast.
+WORKLOADS = (
+    ("dryad:use-after-free", 1),
+    ("wsq:pop-race", 2),
+    ("toy:stats-assert", 1),
+)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _essence(result):
+    return (
+        result.executions,
+        result.transitions,
+        result.distinct_states,
+        result.certified_bound,
+    )
+
+
+def _identities(result):
+    # BugKind is not orderable; encode identities through kind.value.
+    return sorted((b.kind.value,) + tuple(b.identity[1]) for b in result.bugs)
+
+
+def run_experiment(tmp_path):
+    rows = []
+    for spec, bound in WORKLOADS:
+        cache = ResultCache(tmp_path / spec.replace(":", "_"))
+
+        cold, cold_secs = _timed(
+            lambda: ChessChecker(resolve_builtin(spec)).check(
+                max_bound=bound, cache=cache
+            )
+        )
+
+        warm, warm_secs = _timed(
+            lambda: ChessChecker(resolve_builtin(spec)).check(
+                max_bound=bound, cache=cache
+            )
+        )
+
+        ckpt = tmp_path / f"{spec.replace(':', '_')}.ckpt.json"
+        cut = SearchLimits(max_transitions=max(5, cold.transitions // 2))
+        ChessChecker(resolve_builtin(spec)).check(
+            max_bound=bound, limits=cut, checkpoint=ckpt, checkpoint_stride=8
+        )
+        resumed, resumed_secs = _timed(
+            lambda: ChessChecker(resolve_builtin(spec)).check(
+                max_bound=bound, checkpoint=ckpt
+            )
+        )
+
+        rows.append(
+            {
+                "spec": spec,
+                "bound": bound,
+                "cold": cold,
+                "warm": warm,
+                "resumed": resumed,
+                "secs": {
+                    "cold": cold_secs,
+                    "warm": warm_secs,
+                    "resumed": resumed_secs,
+                },
+            }
+        )
+    return rows
+
+
+def render(rows) -> str:
+    lines = [
+        "Durable service fast paths: cold vs warm-cache vs resumed",
+        "(warm = identical resubmission served from the result cache;",
+        " resumed = completion of a run interrupted at ~half its transitions)",
+        "",
+        f"{'program':<22} {'bound':>5} {'execs':>7} {'states':>7} "
+        f"{'cold s':>8} {'warm s':>8} {'resume s':>9} {'warm x':>7}",
+    ]
+    for row in rows:
+        secs = row["secs"]
+        speedup = secs["cold"] / secs["warm"] if secs["warm"] else float("inf")
+        lines.append(
+            f"{row['spec']:<22} {row['bound']:>5} {row['cold'].executions:>7} "
+            f"{row['cold'].distinct_states:>7} {secs['cold']:>8.2f} "
+            f"{secs['warm']:>8.4f} {secs['resumed']:>9.2f} {speedup:>6.0f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_service_cache(benchmark, tmp_path):
+    rows = run_once(benchmark, lambda: run_experiment(tmp_path))
+    emit("service_cache", render(rows))
+
+    for row in rows:
+        spec, secs = row["spec"], row["secs"]
+        # Exactness: all three regimes report the same search.
+        assert _essence(row["warm"]) == _essence(row["cold"]), spec
+        assert _essence(row["resumed"]) == _essence(row["cold"]), spec
+        cold_ids = _identities(row["cold"])
+        assert _identities(row["warm"]) == cold_ids, spec
+        assert _identities(row["resumed"]) == cold_ids, spec
+        # The warm run is a pure cache read: no exploration at all.
+        assert row["warm"].search.extras.get("cache_hit") is True, spec
+        assert row["resumed"].search.extras.get("resumed") is True, spec
+        assert secs["warm"] * 10 <= secs["cold"], (
+            f"{spec}: warm cache {secs['warm']:.4f}s not 10x faster "
+            f"than cold {secs['cold']:.2f}s"
+        )
+        # Resuming does not redo the pre-interruption work (1.25x
+        # headroom absorbs timer noise on the sub-second workloads).
+        assert secs["resumed"] <= secs["cold"] * 1.25, (
+            f"{spec}: resume {secs['resumed']:.2f}s slower than a "
+            f"cold run {secs['cold']:.2f}s"
+        )

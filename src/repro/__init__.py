@@ -46,6 +46,10 @@ Package layout:
   replay, schedule minimization, and the bug-corpus regression runner.
 * :mod:`repro.obs` -- opt-in instrumentation: event stream, metrics,
   live progress, phase profiling (see ``docs/observability.md``).
+* :mod:`repro.service` -- the durable checking service: search
+  checkpoint/resume, the content-addressed result cache and the
+  crash-safe job queue behind ``repro serve`` (see
+  ``docs/service.md``).
 * :mod:`repro.experiments` -- drivers regenerating every table and
   figure of the evaluation.
 """
@@ -68,6 +72,15 @@ from .errors import BugKind, BugReport, ReproError, ScheduleMismatch
 from .monitors.monitor import FinalStateMonitor, InvariantMonitor, Monitor, monitor_factory
 from .obs import Instrumentation, MetricsSnapshot
 from .parallel import ParallelCoordinator, ParallelSettings, WorkItem
+from .service import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointMismatch,
+    Checkpointer,
+    CheckingService,
+    JobQueue,
+    ResultCache,
+)
 from .trace import (
     MinimizationResult,
     ReplayOutcome,
@@ -99,6 +112,11 @@ __all__ = [
     "BugKind",
     "BugReport",
     "CheckResult",
+    "CheckingService",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "Checkpointer",
     "ChessChecker",
     "DepthFirstSearch",
     "Effect",
@@ -111,6 +129,7 @@ __all__ = [
     "InvariantMonitor",
     "IterativeContextBounding",
     "IterativeDeepening",
+    "JobQueue",
     "LintFinding",
     "MetricsSnapshot",
     "MinimizationResult",
@@ -128,6 +147,7 @@ __all__ = [
     "ReplayOutcome",
     "ReplayReport",
     "ReproError",
+    "ResultCache",
     "ScheduleMismatch",
     "SchedulingPolicy",
     "SearchContext",

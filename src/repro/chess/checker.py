@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..analysis import ProgramAnalysis
     from ..obs.instrument import Instrumentation
     from ..parallel.coordinator import ParallelSettings
+    from ..service.cache import ResultCache
 
 from ..core.execution import Execution, ExecutionConfig
 from ..core.program import Program
@@ -151,6 +152,9 @@ class ChessChecker:
         trace_spec: Optional[str] = None,
         obs: Optional["Instrumentation"] = None,
         analysis: Union[bool, "ProgramAnalysis", None] = None,
+        checkpoint: Optional[Union[str, pathlib.Path]] = None,
+        checkpoint_stride: Optional[int] = None,
+        cache: Optional["ResultCache"] = None,
     ) -> CheckResult:
         """Explore the program; by default with ICB until exhaustion.
 
@@ -192,9 +196,53 @@ class ChessChecker:
                 Not supported together with ``workers`` (the frontier
                 shards would each re-derive it; run the analysis once
                 and shard the already-pruned search instead).
+            checkpoint: path of a durable checkpoint file (see
+                :mod:`repro.service` and ``docs/service.md``).  When
+                the file exists the search *resumes* from it instead
+                of starting over; while running, the search journals
+                its frontier there so a killed run can continue.
+                Serial and parallel checkpoints are interchangeable.
+                Only the default ICB strategy supports this.
+            checkpoint_stride: serial save cadence in processed work
+                items (bound completions always save); defaults to
+                :data:`repro.service.checkpoint.DEFAULT_STRIDE`.
+            cache: a :class:`~repro.service.cache.ResultCache`.  A
+                prior identical check (same program fingerprint,
+                config, budgets and strategy shape) is served from
+                disk without exploring anything
+                (``extras["cache_hit"]``); authoritative new results
+                are stored on the way out.  Runs with a wall-clock
+                budget bypass the cache entirely.  Only the default
+                ICB strategy supports this.
         """
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
+        if strategy is not None and (checkpoint is not None or cache is not None):
+            raise ValueError(
+                "checkpoint/cache only apply to the default ICB strategy"
+            )
+        cache_key: Optional[str] = None
+        if cache is not None and cache.cacheable(limits):
+            from ..service.cache import result_cache_key
+
+            if cache.obs is None and obs is not None:
+                cache.obs = obs
+
+            cache_key = result_cache_key(
+                self.program,
+                self.config,
+                limits=limits,
+                max_bound=max_bound,
+                state_caching=state_caching,
+                analysis=bool(analysis),
+            )
+            served = cache.lookup(cache_key)
+            if served is not None:
+                return served
+            if limits is not None and limits.stop_on_first_bug:
+                fastpath = cache.corpus_fastpath(self.program, self.config)
+                if fastpath is not None:
+                    return fastpath
         if workers is not None and workers > 1:
             if analysis:
                 raise ValueError(
@@ -218,6 +266,9 @@ class ChessChecker:
                 trace_dir=trace_dir,
                 trace_spec=trace_spec,
                 obs=obs,
+                checkpointer=self._checkpointer(
+                    checkpoint, checkpoint_stride, obs=obs
+                ),
             )
             result = coordinator.run(limits=limits)
             check_result = CheckResult(
@@ -227,14 +278,26 @@ class ChessChecker:
             )
             if trace_dir is not None:
                 self.save_traces(check_result.bugs, trace_dir, spec=trace_spec)
+            if cache is not None and cache_key is not None:
+                cache.store(cache_key, check_result)
             return check_result
         if strategy is None:
+            resolved = self._resolve_analysis(analysis, obs)
             strategy = IterativeContextBounding(
-                max_bound=max_bound, state_caching=state_caching
+                max_bound=max_bound,
+                state_caching=state_caching,
+                checkpointer=self._checkpointer(
+                    checkpoint,
+                    checkpoint_stride,
+                    state_caching=state_caching,
+                    analysis=resolved is not None,
+                    obs=obs,
+                ),
             )
         elif max_bound is not None:
             raise ValueError("pass max_bound only when using the default strategy")
-        resolved = self._resolve_analysis(analysis, obs)
+        else:
+            resolved = self._resolve_analysis(analysis, obs)
         result = strategy.run(
             self.space(obs=obs, analysis=resolved), limits=limits, obs=obs
         )
@@ -247,7 +310,32 @@ class ChessChecker:
         )
         if trace_dir is not None:
             self.save_traces(check_result.bugs, trace_dir, spec=trace_spec)
+        if cache is not None and cache_key is not None:
+            cache.store(cache_key, check_result)
         return check_result
+
+    def _checkpointer(
+        self,
+        checkpoint: Optional[Union[str, pathlib.Path]],
+        stride: Optional[int],
+        state_caching: bool = False,
+        analysis: bool = False,
+        obs: Optional["Instrumentation"] = None,
+    ):
+        """Build the durable-checkpoint driver for one check, if asked."""
+        if checkpoint is None:
+            return None
+        from ..service.checkpoint import DEFAULT_STRIDE, Checkpointer
+
+        return Checkpointer.for_program(
+            checkpoint,
+            self.program,
+            self.config,
+            stride=stride if stride is not None else DEFAULT_STRIDE,
+            state_caching=state_caching,
+            analysis=analysis,
+            obs=obs,
+        )
 
     def find_bug(
         self,
@@ -259,6 +347,9 @@ class ChessChecker:
         trace_spec: Optional[str] = None,
         obs: Optional["Instrumentation"] = None,
         analysis: Union[bool, "ProgramAnalysis", None] = None,
+        checkpoint: Optional[Union[str, pathlib.Path]] = None,
+        checkpoint_stride: Optional[int] = None,
+        cache: Optional["ResultCache"] = None,
     ) -> Optional[BugReport]:
         """Run ICB until the first bug; its witness is preemption-minimal.
 
@@ -280,6 +371,9 @@ class ChessChecker:
             trace_spec=trace_spec,
             obs=obs,
             analysis=analysis,
+            checkpoint=checkpoint,
+            checkpoint_stride=checkpoint_stride,
+            cache=cache,
         )
         return result.search.first_bug
 

@@ -147,6 +147,17 @@ def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
                         help="run the static analysis pass first and apply "
                         "the scheduling-point reduction it proves sound "
                         "(see docs/analysis.md; not with --workers)")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="durable checkpoint file: resume from it if it "
+                        "exists, journal the search into it while running "
+                        "(see docs/service.md; only with --strategy icb)")
+    parser.add_argument("--checkpoint-stride", type=int, default=None, metavar="N",
+                        help="save the checkpoint every N processed work "
+                        "items (bound completions always save)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed result cache: identical "
+                        "re-checks are served from here without exploring "
+                        "(see docs/service.md; only with --strategy icb)")
 
 
 def _make_obs(args: argparse.Namespace, limits: SearchLimits):
@@ -372,6 +383,88 @@ def _cmd_corpus_run(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CheckingService
+
+    service = CheckingService(args.root, max_attempts=args.max_attempts)
+    handled = service.serve(
+        once=args.once,
+        poll_interval=args.poll_interval,
+        max_jobs=args.max_jobs,
+    )
+    print(f"handled {handled} job(s)")
+    jobs = service.queue.jobs()
+    failed = [job for job in jobs if job.status == "failed"]
+    for job in failed:
+        print(job.describe(), file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import JobQueue
+
+    queue = JobQueue(args.root)
+    job = queue.submit(
+        args.program,
+        priority=args.priority,
+        max_bound=args.bound,
+        workers=args.workers,
+        stop_on_first_bug=args.stop_on_first_bug,
+        max_executions=args.executions,
+        max_transitions=args.transitions,
+        state_caching=args.state_caching,
+    )
+    print(job.id)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from .service import JobQueue
+
+    jobs = JobQueue(args.root).jobs()
+    if args.json:
+        print(json.dumps([dataclasses.asdict(job) for job in jobs], indent=2))
+        return 0
+    if not jobs:
+        print(f"no jobs under {args.root}")
+        return 0
+    for job in jobs:
+        print(job.describe())
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ReproError
+    from .service import CheckingService
+
+    service = CheckingService(args.root)
+    try:
+        payload = service.load_result(args.job)
+    except ReproError as exc:
+        raise SystemExit(str(exc))
+    print(json.dumps(payload, sort_keys=True, indent=2))
+    return 0
+
+
+def _result_cache(args: argparse.Namespace):
+    """Build the --cache-dir result cache (with the --trace-dir corpus
+    as its fast path), or None when caching was not requested."""
+    if args.cache_dir is None:
+        return None
+    if args.strategy != "icb":
+        raise SystemExit("--cache-dir requires the default icb strategy")
+    from .service import ResultCache
+    from .trace.corpus import TraceCorpus
+
+    corpus = TraceCorpus(args.trace_dir) if args.trace_dir else None
+    return ResultCache(args.cache_dir, corpus=corpus)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -380,7 +473,12 @@ def main(argv: Optional[list] = None) -> int:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list built-in benchmark programs")
+    list_parser = commands.add_parser(
+        "list", help="list built-in benchmark programs"
+    )
+    list_parser.add_argument("--json", action="store_true",
+                             help="emit a machine-readable registry (spec, "
+                             "display name, thread count, expected bug class)")
 
     check_parser = commands.add_parser("check", help="model-check a program")
     _add_check_arguments(check_parser)
@@ -428,6 +526,56 @@ def main(argv: Optional[list] = None) -> int:
     )
     corpus_run_parser.add_argument("dir", help="directory of *.trace.json files")
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the durable checking service over a service directory "
+        "(see docs/service.md)",
+    )
+    serve_parser.add_argument("root", help="service directory (created if missing)")
+    serve_parser.add_argument("--once", action="store_true",
+                              help="drain the queue and exit instead of "
+                              "waiting for new submissions")
+    serve_parser.add_argument("--poll-interval", type=float, default=0.2,
+                              metavar="SECONDS",
+                              help="idle sleep between queue polls")
+    serve_parser.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                              help="exit after handling N jobs")
+    serve_parser.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                              help="give up on a job after N failed attempts")
+
+    submit_parser = commands.add_parser(
+        "submit", help="enqueue a checking job for `repro serve`"
+    )
+    submit_parser.add_argument("root", help="service directory")
+    submit_parser.add_argument("program", help="built-in name or module:factory")
+    submit_parser.add_argument("--bound", "--max-bound", dest="bound", type=int,
+                               default=None,
+                               help="stop ICB after this preemption bound")
+    submit_parser.add_argument("--workers", type=int, default=None,
+                               help="run the job with this many worker processes")
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="higher runs first")
+    submit_parser.add_argument("--stop-on-first-bug", action="store_true")
+    submit_parser.add_argument("--executions", type=int, default=None,
+                               help="execution budget")
+    submit_parser.add_argument("--transitions", type=int, default=None,
+                               help="transition budget")
+    submit_parser.add_argument("--state-caching", action="store_true",
+                               help="enable Algorithm 1's work-item table")
+
+    status_parser = commands.add_parser(
+        "status", help="show every job in a service directory"
+    )
+    status_parser.add_argument("root", help="service directory")
+    status_parser.add_argument("--json", action="store_true",
+                               help="emit machine-readable job records")
+
+    results_parser = commands.add_parser(
+        "results", help="print a finished job's result report"
+    )
+    results_parser.add_argument("root", help="service directory")
+    results_parser.add_argument("job", help="job id (see `repro status`)")
+
     stats_parser = commands.add_parser(
         "stats", help="summarize a --metrics-out JSON or --events-out JSONL file"
     )
@@ -462,9 +610,27 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        if args.json:
+            import json
+
+            from .programs import builtin_summaries
+
+            summaries = builtin_summaries()
+            print(json.dumps(
+                [summaries[spec] for spec in sorted(summaries)], indent=2
+            ))
+            return 0
         for name in sorted(_builtin_programs()):
             print(name)
         return 0
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
+    if args.command == "results":
+        return _cmd_results(args)
     if args.command == "trace":
         if args.trace_command == "save":
             return _cmd_trace_save(args)
@@ -494,7 +660,10 @@ def main(argv: Optional[list] = None) -> int:
         raise SystemExit("--workers requires the default icb strategy")
     if args.analysis and args.workers is not None and args.workers > 1:
         raise SystemExit("--analysis is not supported with --workers")
+    if args.checkpoint is not None and args.strategy != "icb":
+        raise SystemExit("--checkpoint requires the default icb strategy")
     parallel_settings = _parallel_settings(args)
+    cache = _result_cache(args)
     obs = _make_obs(args, limits)
 
     if args.command == "explain":
@@ -506,6 +675,9 @@ def main(argv: Optional[list] = None) -> int:
             parallel_settings=parallel_settings,
             trace_dir=args.trace_dir, trace_spec=args.program, obs=obs,
             analysis=args.analysis,
+            checkpoint=args.checkpoint,
+            checkpoint_stride=args.checkpoint_stride,
+            cache=cache,
         )
         _finish_obs(args, obs)
         if bug is None:
@@ -527,6 +699,9 @@ def main(argv: Optional[list] = None) -> int:
         trace_spec=args.program,
         obs=obs,
         analysis=args.analysis,
+        checkpoint=args.checkpoint,
+        checkpoint_stride=args.checkpoint_stride,
+        cache=cache,
     )
     _finish_obs(args, obs)
     print(result.summary())

@@ -1,0 +1,45 @@
+"""Process-stable hashing for state fingerprints.
+
+State fingerprints are Python hashes that the service layer persists
+into checkpoints and compares *across processes*: a resumed search
+must recognise every state the killed process already visited, or it
+double-counts them as new.  Pinning ``PYTHONHASHSEED`` makes string
+hashing reproducible, but CPython before 3.12 *id*-hashes the
+singletons ``None``, ``Ellipsis`` and ``NotImplemented`` -- their hash
+derives from their memory address, which ASLR moves on every
+interpreter start and no seed controls.  A fingerprint touching a bare
+``hash(None)`` (an unheld mutex's ``holder``, a variable initialised
+to ``None``, the ``None`` delivered into a generator after a write)
+therefore differs between the saving and the resuming process.
+
+:func:`stable_hash` is ``hash()`` with those singletons replaced by
+string-derived constants, applied recursively through tuples and
+frozensets (the only hashable containers the engine produces).  Equal
+values keep equal hashes, so single-process behaviour is unchanged;
+across processes the result depends only on ``PYTHONHASHSEED``, which
+the checkpoint hash probe validates at load time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["stable_hash"]
+
+
+def stable_hash(value: Any) -> int:
+    """``hash(value)``, deterministic across same-seed processes.
+
+    Raises :class:`TypeError` for unhashable values, like ``hash``.
+    """
+    if value is None:
+        return hash("repro:hash:none")
+    if value is Ellipsis:
+        return hash("repro:hash:ellipsis")
+    if value is NotImplemented:
+        return hash("repro:hash:notimplemented")
+    if isinstance(value, tuple):
+        return hash(tuple(stable_hash(item) for item in value))
+    if isinstance(value, frozenset):
+        return hash(frozenset(stable_hash(item) for item in value))
+    return hash(value)

@@ -21,6 +21,8 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence, Tuple, Union
 
+from .hashing import stable_hash
+
 if TYPE_CHECKING:  # pragma: no cover
     from .effects import Effect
     from .sync import Event
@@ -155,9 +157,15 @@ class ThreadState:
     # -- bookkeeping ----------------------------------------------------
 
     def record_input(self, value: Any) -> None:
-        """Fold a delivered value into the input hash chain."""
+        """Fold a delivered value into the input hash chain.
+
+        Uses :func:`stable_hash` so the chain (and therefore every
+        state fingerprint downstream of it) agrees across processes
+        under a pinned ``PYTHONHASHSEED`` -- most delivered values are
+        ``None``, which id-hashes before Python 3.12.
+        """
         try:
-            h = hash(value)
+            h = stable_hash(value)
         except TypeError:
             h = hash(repr(value))
         self.input_chain = hash((self.input_chain, h))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from ..errors import ProgramDefinitionError
+from .hashing import stable_hash
 from .heap import HeapRef
 from .objects import SharedObject
 from .sync import (
@@ -122,5 +123,12 @@ class World:
     # -- fingerprinting ---------------------------------------------------
 
     def fingerprint(self) -> int:
-        """Order-independent hash of all shared-object states."""
-        return hash(frozenset((o.name, o.snapshot()) for o in self._objects))
+        """Order-independent hash of all shared-object states.
+
+        Snapshots are reduced with :func:`stable_hash` so fingerprints
+        agree across processes under a pinned ``PYTHONHASHSEED``
+        (``None`` inside a snapshot would otherwise id-hash).
+        """
+        return hash(
+            frozenset((o.name, stable_hash(o.snapshot())) for o in self._objects)
+        )

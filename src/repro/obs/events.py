@@ -176,6 +176,47 @@ class WorkerHeartbeat(Event):
     transitions: int
 
 
+@dataclass(frozen=True)
+class CheckpointSaved(Event):
+    """The live search state was persisted (see ``docs/service.md``).
+
+    ``frontier``/``deferred`` count the work items captured in the
+    current and next-bound queues; ``sequence`` increments per save,
+    so gaps in an event log reveal lost checkpoints."""
+
+    kind: ClassVar[str] = "checkpoint_saved"
+
+    sequence: int
+    bound: int
+    frontier: int
+    deferred: int
+    executions: int
+
+
+@dataclass(frozen=True)
+class CheckpointResumed(Event):
+    """A search continued from a persisted checkpoint instead of
+    starting fresh; totals are the restored starting point."""
+
+    kind: ClassVar[str] = "checkpoint_resumed"
+
+    sequence: int
+    bound: int
+    executions: int
+    transitions: int
+
+
+@dataclass(frozen=True)
+class ResultCacheServed(Event):
+    """A completed result was served from the content-addressed result
+    cache without any exploration (``docs/service.md``)."""
+
+    kind: ClassVar[str] = "result_cache_served"
+
+    key: str
+    program: str
+
+
 #: Registry of every event type, keyed by its wire tag.  Serialization
 #: and validation are driven from this table, so adding an event type
 #: here is the single step that extends the schema.
@@ -193,6 +234,9 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         RaceChecked,
         AnalysisCompleted,
         WorkerHeartbeat,
+        CheckpointSaved,
+        CheckpointResumed,
+        ResultCacheServed,
     )
 }
 

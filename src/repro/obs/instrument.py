@@ -31,10 +31,13 @@ from .events import (
     BoundCompleted,
     BoundStarted,
     BugFound,
+    CheckpointResumed,
+    CheckpointSaved,
     EventBus,
     ExecutionFinished,
     ExecutionStarted,
     RaceChecked,
+    ResultCacheServed,
     SearchFinished,
     SearchStarted,
     StateVisited,
@@ -279,6 +282,33 @@ class Instrumentation:
         self.metrics.add("worker_heartbeats")
         if self.bus.active:
             self.bus.emit(WorkerHeartbeat(self.now(), worker, executions, transitions))
+
+    # -- durability hooks (see repro.service) -------------------------------
+
+    def checkpoint_saved(
+        self, sequence: int, bound: int, frontier: int, deferred: int, executions: int
+    ) -> None:
+        self.metrics.add("checkpoints_saved")
+        if self.bus.active:
+            self.bus.emit(
+                CheckpointSaved(
+                    self.now(), sequence, bound, frontier, deferred, executions
+                )
+            )
+
+    def checkpoint_resumed(
+        self, sequence: int, bound: int, executions: int, transitions: int
+    ) -> None:
+        self.metrics.add("checkpoint_resumes")
+        if self.bus.active:
+            self.bus.emit(
+                CheckpointResumed(self.now(), sequence, bound, executions, transitions)
+            )
+
+    def cache_served(self, key: str, program: str) -> None:
+        self.metrics.add("result_cache_hits")
+        if self.bus.active:
+            self.bus.emit(ResultCacheServed(self.now(), key, program))
 
     # -- freezing ----------------------------------------------------------
 

@@ -323,6 +323,15 @@ class MetricsSnapshot:
                 f"race checks: {self.counters['race_checks']} "
                 f"({self.counters.get('races_found', 0)} hit)"
             )
+        service = [
+            ("checkpoints saved", self.counters.get("checkpoints_saved", 0)),
+            ("checkpoint resumes", self.counters.get("checkpoint_resumes", 0)),
+            ("result cache hits", self.counters.get("result_cache_hits", 0)),
+        ]
+        if any(count for _, count in service):
+            lines.append(
+                "service: " + ", ".join(f"{count} {name}" for name, count in service)
+            )
         if self.executions_by_bound or self.states_by_bound:
             lines.append("per-bound breakdown:")
             bounds = sorted(set(self.executions_by_bound) | set(self.states_by_bound))

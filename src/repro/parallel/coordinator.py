@@ -24,13 +24,17 @@ never silently dropped, and never falsely certified.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import pickle
 import queue
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..service.checkpoint import Checkpointer
 
 from ..core.execution import ExecutionConfig
 from ..core.program import Program
@@ -91,6 +95,12 @@ class ParallelSettings:
     #: Fault injection (tests only): these worker ids claim their
     #: first shard and then die hard, like a segfault would.
     fault_crash_workers: Tuple[int, ...] = ()
+    #: Targeted fault injection (tests only): any worker claiming this
+    #: shard dies while the task's ``attempt`` is below
+    #: ``fault_crash_attempts``, so one shard can kill several workers
+    #: in a row (the worker-killed-twice path) before a retry survives.
+    fault_crash_shard: Optional[int] = None
+    fault_crash_attempts: int = 0
 
 
 @dataclass
@@ -154,6 +164,7 @@ class ParallelCoordinator:
         trace_dir: Optional[Any] = None,
         trace_spec: Optional[str] = None,
         obs: Optional[Instrumentation] = None,
+        checkpointer: Optional["Checkpointer"] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -167,6 +178,15 @@ class ParallelCoordinator:
         self.trace_dir = trace_dir
         self.trace_spec = trace_spec
         self.obs = obs
+        #: Optional durable checkpointing (see ``docs/service.md``):
+        #: the run resumes from an existing checkpoint and journals
+        #: its frontier at bound starts, shard completions, crash
+        #: requeues and bound completions.  Saves happen only at shard
+        #: boundaries -- a shard in flight at the time of a crash is
+        #: re-dispatched whole on resume, and its partial results are
+        #: discarded with the dead run, which is what makes resumed
+        #: totals exactly equal uninterrupted ones.
+        self.checkpointer = checkpointer
 
     def _trace_writer(self) -> Optional[Any]:
         """Build the streamed-bug persister for this run, if enabled."""
@@ -195,7 +215,6 @@ class ParallelCoordinator:
             self.obs.search_started(self.strategy_name, self.program.name)
         space = ProgramStateSpace(self.program, self.config)
         initial = space.initial_state()
-        frontier = [WorkItem((), tid, 0) for tid in space.enabled(initial)]
         extras: Dict[str, Any] = {
             "completed_bound": None,
             "workers": self.workers,
@@ -204,6 +223,22 @@ class ParallelCoordinator:
             "worker_failures": 0,
             "unexplored_items": 0,
         }
+        resumed = (
+            self.checkpointer.resume_state() if self.checkpointer is not None else None
+        )
+        if resumed is not None:
+            # Checkpointed frontier replaces the initial one; the
+            # pre-interruption statistics are seeded into the run
+            # state inside _run_pool.
+            frontier = list(resumed.work_items)
+            carry = list(resumed.next_items)
+            bound = resumed.bound
+            extras["completed_bound"] = resumed.completed_bound
+            extras["resumed"] = True
+            for key in ("shards", "shard_retries", "unexplored_items"):
+                extras[key] = resumed.parallel.get(key, 0)
+            return self._run_pool(frontier, limits, extras, resumed, carry, bound)
+        frontier = [WorkItem((), tid, 0) for tid in space.enabled(initial)]
         if not frontier:
             return self._run_degenerate(space, initial, limits, extras)
         return self._run_pool(frontier, limits, extras)
@@ -261,6 +296,9 @@ class ParallelCoordinator:
         frontier: List[WorkItem],
         limits: SearchLimits,
         extras: Dict[str, Any],
+        resumed: Optional[Any] = None,
+        carry: Optional[List[WorkItem]] = None,
+        start_bound: int = 0,
     ) -> SearchResult:
         settings = self.settings
         mp_ctx = self._mp_context()
@@ -289,6 +327,8 @@ class ParallelCoordinator:
                     settings.progress_interval,
                     wid in settings.fault_crash_workers,
                     self.obs is not None,
+                    settings.fault_crash_shard,
+                    settings.fault_crash_attempts,
                 ),
                 daemon=True,
             )
@@ -296,14 +336,34 @@ class ParallelCoordinator:
             procs[wid] = proc
 
         state = _RunState(trace_writer=self._trace_writer())
+        if resumed is not None:
+            # Fold the pre-interruption statistics in as one synthetic
+            # "shard": merge treats it like any completed part, so the
+            # resumed run's totals continue from the checkpoint.
+            base = resumed.as_base_result(limits)
+            state.shard_results.append(base)
+            state.total_executions += base.executions
+            state.total_transitions += base.transitions
+            for bug in base.context.bugs.values():
+                known = state.bugs.get(bug.signature)
+                if known is None or _better_witness(bug, known):
+                    # Seed directly: these witnesses were persisted by
+                    # the interrupted run already.
+                    state.bugs[bug.signature] = bug
+            if self.obs is not None:
+                state.known_states.update(base.context.states)
+                if resumed.metrics is not None:
+                    state.metric_snapshots.append(resumed.metrics)
         completed, reason = True, "exhausted state space"
-        bound = 0
+        bound = start_bound
+        carry = list(carry or [])
         try:
             while True:
                 next_frontier, bound_ok, fail_reason = self._run_bound(
                     bound, frontier, task_queue, result_queue, stop_event,
-                    procs, state, limits, deadline, extras,
+                    procs, state, limits, deadline, extras, carry,
                 )
+                carry = []
                 if bound_ok:
                     extras["completed_bound"] = bound
                 else:
@@ -355,15 +415,48 @@ class ParallelCoordinator:
         limits: SearchLimits,
         deadline: Optional[float],
         extras: Dict[str, Any],
+        carry: Optional[List[WorkItem]] = None,
     ) -> Tuple[List[WorkItem], bool, Optional[str]]:
         settings = self.settings
         obs = self.obs
         outstanding: Dict[int, ShardState] = {}
         deferred: Dict[int, Tuple[WorkItem, ...]] = {}
+        #: Next-bound items inherited from a resumed checkpoint (the
+        #: deferrals of shards that completed before the interruption).
+        carried: List[WorkItem] = list(carry or [])
         bound_ok = True
         fail_reason: Optional[str] = None
         if obs is not None:
             obs.bound_started(bound, len(frontier))
+
+        def save_checkpoint(completed_bound: Optional[int] = None) -> None:
+            """Journal the bound's remaining work (see docs/service.md).
+
+            Outstanding shards are checkpointed *whole*: a shard in
+            flight has no incremental state, so on resume it is simply
+            re-dispatched and its lost partial work redone.
+            """
+            if self.checkpointer is None:
+                return
+            if not bound_ok or state.budget_reason is not None:
+                # The bound can no longer complete: partial shard
+                # results are now mixed into the run state, so any save
+                # from here would record their statistics without their
+                # remaining items.  The last consistent checkpoint
+                # (every absorbed shard completed, every other shard
+                # whole) stays authoritative for the resume.
+                return
+            work = [
+                item
+                for sid in sorted(outstanding)
+                for item in outstanding[sid].task.items
+            ]
+            nxt = carried + [
+                item for sid in sorted(deferred) for item in deferred[sid]
+            ]
+            if completed_bound is None:
+                completed_bound = extras.get("completed_bound")
+            self._save_checkpoint(state, bound, work, nxt, extras, completed_bound)
 
         for items in chunk_frontier(
             frontier, self.workers, settings.overpartition, settings.chunk_size
@@ -373,6 +466,7 @@ class ParallelCoordinator:
             outstanding[sid] = ShardState(task=ShardTask(sid, bound, items))
             task_queue.put(outstanding[sid].task)
         extras["shards"] += len(outstanding)
+        save_checkpoint()
 
         while outstanding:
             budget_reason = self._global_budget_reason(state, limits, deadline)
@@ -382,11 +476,19 @@ class ParallelCoordinator:
             try:
                 msg = result_queue.get(timeout=settings.poll_interval)
             except queue.Empty:
-                if self._reap(
+                lost, requeued = self._reap(
                     outstanding, procs, state, extras, task_queue, stop_event
-                ):
+                )
+                if lost:
                     bound_ok = False
                     fail_reason = fail_reason or "worker failure: shard(s) unexplored"
+                if requeued:
+                    # Make the requeue durable: a crash right now must
+                    # re-dispatch the shard from the journal on resume,
+                    # not from this process's memory.  (A *lost* shard
+                    # deliberately stays in the journal as pending work:
+                    # resuming gets a fresh pool and another chance.)
+                    save_checkpoint()
                 continue
             tag = msg[0]
             if tag == MSG_CLAIM:
@@ -423,8 +525,10 @@ class ParallelCoordinator:
                 if not outcome.completed:
                     bound_ok = False
                     fail_reason = fail_reason or outcome.stop_reason
+                save_checkpoint()
 
         merged_frontier: List[WorkItem] = []
+        merged_frontier.extend(carried)
         for sid in sorted(deferred):
             merged_frontier.extend(deferred[sid])
         if state.budget_reason is not None:
@@ -433,6 +537,13 @@ class ParallelCoordinator:
         if obs is not None and bound_ok:
             obs.bound_completed(
                 bound, state.total_executions, len(state.known_states)
+            )
+        if bound_ok and self.checkpointer is not None:
+            # Bound-completion save: empty current queue, the merged
+            # next-bound frontier deferred.  Resuming this shape
+            # re-enters the (empty) bound and advances immediately.
+            self._save_checkpoint(
+                state, bound, [], merged_frontier, extras, bound
             )
         return merged_frontier, bound_ok, fail_reason
 
@@ -444,15 +555,17 @@ class ParallelCoordinator:
         extras: Dict[str, Any],
         task_queue: Any,
         stop_event: Any,
-    ) -> bool:
+    ) -> Tuple[bool, bool]:
         """Handle dead/stuck workers and a stopped pool.
 
-        Returns True when any shard had to be abandoned as unexplored.
+        Returns ``(lost, requeued)``: whether any shard had to be
+        abandoned as unexplored, and whether any was re-dispatched.
         """
         settings = self.settings
         now = time.monotonic()
         any_alive = any(p.is_alive() for p in procs.values())
         lost = False
+        requeued = False
         for sid, shard in list(outstanding.items()):
             if shard.worker_id is None:
                 # Still queued.  Nobody will ever claim it if the pool
@@ -495,8 +608,64 @@ class ParallelCoordinator:
                 shard.worker_id = None
                 shard.claimed_at = None
                 extras["shard_retries"] += 1
+                # Bump the attempt counter so the re-dispatched task is
+                # distinguishable from the original claim (targeted
+                # fault injection and diagnostics key on it).
+                shard.task = dataclasses.replace(
+                    shard.task, attempt=shard.task.attempt + 1
+                )
                 task_queue.put(shard.task)
-        return lost
+                requeued = True
+        return lost, requeued
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _save_checkpoint(
+        self,
+        state: _RunState,
+        bound: int,
+        work_items: List[WorkItem],
+        next_items: List[WorkItem],
+        extras: Dict[str, Any],
+        completed_bound: Optional[int],
+    ) -> None:
+        """Persist the run's current frontier and merged statistics."""
+        assert self.checkpointer is not None
+        if state.shard_results:
+            ordered = sorted(
+                state.shard_results,
+                key=lambda r: (r.extras.get("bound", 0), r.extras.get("shard_id", 0)),
+            )
+            ctx = SearchResult.merge(ordered).context
+        else:
+            ctx = SearchContext()
+        for bug in state.bugs.values():
+            known = ctx.bugs.get(bug.signature)
+            if known is None or _better_witness(bug, known):
+                ctx.bugs[bug.signature] = bug
+        metrics = (
+            MetricsSnapshot.merge(state.metric_snapshots)
+            if state.metric_snapshots
+            else None
+        )
+        parallel = {
+            key: extras[key]
+            for key in ("workers", "shards", "shard_retries", "unexplored_items")
+            if isinstance(extras.get(key), int)
+        }
+        if self.checkpointer.obs is None and self.obs is not None:
+            # The merged context carries no instrumentation, so route
+            # the checkpoint_saved event through the run's own obs.
+            self.checkpointer.obs = self.obs
+        self.checkpointer.save_state(
+            bound,
+            work_items,
+            next_items,
+            ctx,
+            completed_bound,
+            metrics=metrics,
+            parallel=parallel,
+        )
 
     # -- budgets --------------------------------------------------------------
 

@@ -83,6 +83,7 @@ class WorkerContext(SearchContext):
         stop_check_interval: int = 64,
         progress_interval: int = 256,
         obs: Optional[Instrumentation] = None,
+        parent_pid: Optional[int] = None,
     ) -> None:
         super().__init__(
             replace(limits, stop_on_first_bug=False, max_seconds=None), obs=obs
@@ -93,6 +94,7 @@ class WorkerContext(SearchContext):
         self.deadline = deadline
         self.stop_check_interval = max(1, stop_check_interval)
         self.progress_interval = max(1, progress_interval)
+        self.parent_pid = parent_pid
         self._checks = 0
         self._reported_executions = 0
         self._reported_transitions = 0
@@ -107,6 +109,12 @@ class WorkerContext(SearchContext):
                 raise SearchBudgetExceeded("coordinator stop")
             if self.deadline is not None and time.monotonic() >= self.deadline:
                 raise SearchBudgetExceeded("time budget reached")
+            if self.parent_pid is not None and os.getppid() != self.parent_pid:
+                # The coordinator died without cleanup (SIGKILL): this
+                # worker was reparented.  Stop exploring instead of
+                # grinding on as an orphan; the resumed coordinator
+                # re-dispatches the shard from its checkpoint journal.
+                raise SearchBudgetExceeded("coordinator process vanished")
         if self.transitions - self._reported_transitions >= self.progress_interval:
             self.flush_progress()
 
@@ -238,15 +246,22 @@ def worker_main(
     progress_interval: int,
     crash_on_first_claim: bool = False,
     collect_metrics: bool = False,
+    fault_crash_shard: Optional[int] = None,
+    fault_crash_attempts: int = 0,
 ) -> None:
     """Entry point of one worker process.
 
     ``crash_on_first_claim`` is a fault-injection hook used by the
     robustness tests: the worker claims its first shard and then dies
     hard (``os._exit``), exactly like a segfault in the program under
-    test would kill a real worker.
+    test would kill a real worker.  ``fault_crash_shard`` /
+    ``fault_crash_attempts`` are the targeted variant: *any* worker
+    claiming that shard dies while ``task.attempt`` is below the
+    attempt threshold, so a shard can be made to kill several workers
+    in a row (the worker-killed-twice path) before one survives.
     """
 
+    parent_pid = os.getppid()
     space = ProgramStateSpace(program, config)
     while True:
         try:
@@ -254,12 +269,21 @@ def worker_main(
         except queue.Empty:
             if stop_event.is_set():
                 break
+            if os.getppid() != parent_pid:
+                # Reparented: the coordinator is gone and nobody will
+                # ever send STOP_TASK.  Exit instead of idling forever.
+                break
             continue
         if task == STOP_TASK:
             break
         assert isinstance(task, ShardTask)
         result_queue.put((MSG_CLAIM, worker_id, task.shard_id))
-        if crash_on_first_claim:
+        crash = crash_on_first_claim or (
+            fault_crash_shard is not None
+            and task.shard_id == fault_crash_shard
+            and task.attempt < fault_crash_attempts
+        )
+        if crash:
             # Give the queue's feeder thread a moment to flush the
             # claim, then die without any cleanup.
             time.sleep(0.2)
@@ -281,6 +305,7 @@ def worker_main(
             stop_check_interval=stop_check_interval,
             progress_interval=progress_interval,
             obs=obs,
+            parent_pid=parent_pid,
         )
         outcome = explore_shard(space, task, ctx)
         if collect_metrics:

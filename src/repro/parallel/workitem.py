@@ -51,11 +51,18 @@ class WorkItem:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """A batch of work items dispatched to one worker."""
+    """A batch of work items dispatched to one worker.
+
+    ``attempt`` counts prior dispatches of this shard: the coordinator
+    bumps it on every crash requeue, so a requeued task is
+    distinguishable from the original.  Targeted fault injection (the
+    worker-killed-twice robustness tests) keys on it.
+    """
 
     shard_id: int
     bound: int
     items: Tuple[WorkItem, ...]
+    attempt: int = 0
 
 
 @dataclass

@@ -22,9 +22,37 @@ producer/consumer, deadlocks -- the unit/property-test corpus) and
 buffer -- lock-free idioms with seeded publication bugs).
 """
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..core.program import Program
+
+#: Spec -> bug kind (the ``BugKind`` value string) ICB is expected to
+#: report for the deliberately buggy builtins.  Derived by actually
+#: running ``find_bug`` on each; specs absent here are expected clean
+#: (within practical bounds).  ``repro list --json`` and the service
+#: tests consume this.
+EXPECTED_BUGS: Dict[str, str] = {
+    "ape:double-take": "uncaught-exception",
+    "ape:early-return": "assertion",
+    "ape:init-race": "assertion",
+    "ape:stats-race": "assertion",
+    "bluetooth": "assertion",
+    "dryad:close-sem-race": "assertion",
+    "dryad:double-free": "double-free",
+    "dryad:missing-handler": "assertion",
+    "dryad:refcount-race": "assertion",
+    "dryad:use-after-free": "use-after-free",
+    "toy:atomic-counter": "assertion",
+    "toy:deadlock": "deadlock",
+    "toy:racy-counter": "data-race",
+    "toy:stats-assert": "assertion",
+    "toy:stats-deadlock": "deadlock",
+    "toy:stats-race": "data-race",
+    "toy:uaf": "use-after-free",
+    "wsq:pop-lost-restore": "assertion",
+    "wsq:pop-race": "assertion",
+    "wsq:steal-stale-tail": "assertion",
+}
 from . import (
     ape,
     bluetooth,
@@ -37,9 +65,11 @@ from . import (
 )
 
 __all__ = [
+    "EXPECTED_BUGS",
     "ape",
     "bluetooth",
     "builtin_registry",
+    "builtin_summaries",
     "classic",
     "dryad",
     "filesystem",
@@ -87,6 +117,29 @@ def builtin_registry() -> Dict[str, Callable[[], Program]]:
             variant=v, workers=2, data_items=1
         )
     return registry
+
+
+def builtin_summaries() -> Dict[str, Dict[str, Any]]:
+    """Machine-readable description of every built-in program.
+
+    Instantiates each program once to count its declared threads; the
+    expected-bug class comes from :data:`EXPECTED_BUGS`.  This is what
+    ``repro list --json`` emits, so external drivers (the checking
+    service, CI matrices) can enumerate the corpus without parsing
+    human-oriented output.
+    """
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for spec, factory in builtin_registry().items():
+        program = factory()
+        _, thread_specs = program.instantiate()
+        summaries[spec] = {
+            "spec": spec,
+            "name": program.name,
+            "threads": len(thread_specs),
+            "expected_bug": EXPECTED_BUGS.get(spec),
+            "buggy": spec in EXPECTED_BUGS,
+        }
+    return summaries
 
 
 def resolve_builtin(spec: str) -> Optional[Program]:

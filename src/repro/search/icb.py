@@ -27,6 +27,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..service.checkpoint import Checkpointer
     from .heuristics import FrontierPrioritizer
 
 from ..core.thread import ThreadId
@@ -55,6 +56,14 @@ class IterativeContextBounding(Strategy):
             Ordering within one bound never affects which executions
             the bound explores, so the certified-bound guarantee is
             untouched -- only discovery order within the bound shifts.
+        checkpointer: optional
+            :class:`~repro.service.checkpoint.Checkpointer`.  The
+            search resumes from its checkpoint when one exists, and
+            saves between work items (every ``stride`` items, and at
+            every bound completion).  Saves never happen mid-item, so
+            an interrupted-then-resumed run explores exactly the
+            executions an uninterrupted one would (see
+            ``docs/service.md``).
     """
 
     name = "icb"
@@ -64,12 +73,14 @@ class IterativeContextBounding(Strategy):
         max_bound: Optional[int] = None,
         state_caching: bool = False,
         prioritizer: Optional["FrontierPrioritizer"] = None,
+        checkpointer: Optional["Checkpointer"] = None,
     ) -> None:
         if max_bound is not None and max_bound < 0:
             raise ValueError("max_bound must be non-negative")
         self.max_bound = max_bound
         self.state_caching = state_caching
         self.prioritizer = prioritizer
+        self.checkpointer = checkpointer
 
     def _search(
         self, space: StateSpace, ctx: SearchContext, extras: Dict[str, Any]
@@ -85,24 +96,49 @@ class IterativeContextBounding(Strategy):
 
         work_queue: Deque[WorkItem] = deque()
         next_queue: Deque[WorkItem] = deque()
-        for tid in space.enabled(initial):
-            work_queue.append((initial, tid))
-        if not work_queue and space.is_terminal(initial):
-            ctx.note_terminal(space, initial)
-
-        obs = ctx.obs
         bound = 0
         extras["completed_bound"] = None
+
+        checkpointer = self.checkpointer
+        resumed = checkpointer.resume_state() if checkpointer is not None else None
+        if resumed is not None:
+            # Continue exactly where the checkpoint left off: queues,
+            # bound and accumulated statistics are all restored; work
+            # lost after the last save is simply redone.
+            bound = resumed.bound
+            extras["completed_bound"] = resumed.completed_bound
+            extras["resumed"] = True
+            work_queue = deque(item.as_pair() for item in resumed.work_items)
+            next_queue = deque(item.as_pair() for item in resumed.next_items)
+            resumed.restore_context(ctx)
+            if cache is not None:
+                resumed.restore_cache(cache)
+        else:
+            for tid in space.enabled(initial):
+                work_queue.append((initial, tid))
+            if not work_queue and space.is_terminal(initial):
+                ctx.note_terminal(space, initial)
+
+        obs = ctx.obs
         while True:
             if obs is not None:
                 obs.bound_started(bound, len(work_queue))
             while work_queue:
                 item = work_queue.popleft()
                 self._search_item(space, ctx, item, next_queue, cache, prune)
+                if checkpointer is not None and checkpointer.note_item():
+                    self._save_checkpoint(
+                        checkpointer, bound, work_queue, next_queue, ctx, cache,
+                        extras["completed_bound"],
+                    )
             # All executions with at most `bound` preemptions explored.
             extras["completed_bound"] = bound
             if obs is not None:
                 obs.bound_completed(bound, ctx.executions, len(ctx.states))
+            if checkpointer is not None:
+                self._save_checkpoint(
+                    checkpointer, bound, work_queue, next_queue, ctx, cache, bound
+                )
             if not next_queue:
                 break
             if self.max_bound is not None and bound >= self.max_bound:
@@ -118,6 +154,27 @@ class IterativeContextBounding(Strategy):
         if cache is not None:
             extras["cache_hits"] = cache.hits
             extras["cache_size"] = len(cache)
+
+    @staticmethod
+    def _save_checkpoint(
+        checkpointer: "Checkpointer",
+        bound: int,
+        work_queue: Deque[WorkItem],
+        next_queue: Deque[WorkItem],
+        ctx: SearchContext,
+        cache: Optional[WorkItemCache],
+        completed_bound: Optional[int],
+    ) -> None:
+        from ..service.checkpoint import normalize_items
+
+        checkpointer.save_state(
+            bound,
+            normalize_items(work_queue),
+            normalize_items(next_queue),
+            ctx,
+            completed_bound,
+            cache=cache,
+        )
 
     def _search_item(
         self,

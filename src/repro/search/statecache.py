@@ -9,7 +9,7 @@ been processed before.
 
 from __future__ import annotations
 
-from typing import Hashable, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Set, Tuple
 
 from ..core.thread import ThreadId
 
@@ -34,3 +34,29 @@ class WorkItemCache:
 
     def __len__(self) -> int:
         return len(self._table)
+
+    # -- checkpointing (see repro.service.checkpoint) ------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """A serializable view of the table, deterministically ordered.
+
+        Losing the table across an interruption would not be merely a
+        performance matter: a resumed state-caching run would re-explore
+        items the original already pruned, changing its execution count
+        -- so the checkpoint layer persists it in full.
+        """
+        items: List[Tuple[Hashable, ThreadId]] = sorted(
+            self._table, key=lambda pair: (repr(pair[0]), pair[1].path)
+        )
+        return {"items": items, "hits": self.hits, "misses": self.misses}
+
+    def restore_state(
+        self,
+        items: Iterable[Tuple[Hashable, ThreadId]],
+        hits: int,
+        misses: int,
+    ) -> None:
+        """Reinstall a table captured by :meth:`export_state`."""
+        self._table = set(items)
+        self.hits = hits
+        self.misses = misses

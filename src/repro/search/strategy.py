@@ -155,15 +155,25 @@ class SearchContext:
         self._check_budget()
 
     def note_bug(self, bug: BugReport) -> None:
-        """Record a bug, keeping the minimal-preemption witness."""
+        """Record a bug, keeping the canonical minimal witness.
+
+        The kept witness follows the same total order the parallel
+        merge uses (fewest preemptions, then shortest, then smallest
+        schedule), so the witness -- and therefore
+        :attr:`BugReport.identity` -- is a pure function of the
+        explored space: serial, parallel and interrupted-then-resumed
+        runs all converge on the same report.
+        """
         signature = bug.signature
         known = self.bugs.get(signature)
-        improved = known is None or bug.preemptions < known.preemptions
-        if improved:
+        if known is None or _better_witness(bug, known):
             self.bugs[signature] = bug
-        if self.obs is not None and improved:
-            # Milestones only: a new defect, or a better witness for a
-            # known one -- not every re-encounter along other paths.
+        if self.obs is not None and (
+            known is None or bug.preemptions < known.preemptions
+        ):
+            # Milestones only: a new defect, or a fewer-preemption
+            # witness for a known one -- equal-preemption tie-break
+            # refinements and re-encounters stay silent.
             self.obs.bug_found(bug, new=known is None)
         if self.limits.stop_on_first_bug:
             raise SearchInterrupted("stopping at first bug")

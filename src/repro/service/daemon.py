@@ -1,0 +1,198 @@
+"""The checking service daemon: ``repro serve``.
+
+One directory is the whole service::
+
+    <root>/
+      jobs.jsonl        the durable job queue (repro.service.jobs)
+      checkpoints/      one live checkpoint per job (repro.service.checkpoint)
+      cache/            content-addressed results (repro.service.cache)
+      results/          one JSON report per finished job
+      traces/           witness-trace corpus shared by every job
+
+The daemon folds the journal, requeues whatever a previous daemon left
+running (:meth:`~repro.service.jobs.JobQueue.recover`), then loops:
+claim the best queued job, resolve its program spec, and run
+:meth:`~repro.chess.checker.ChessChecker.check` with the job's knobs
+plus the service's durability plumbing -- a per-job checkpoint file,
+the shared result cache, and the shared trace corpus.  Killing the
+daemon (or its worker processes) at any point therefore loses no
+work: on restart the job is requeued by the journal and its search
+resumes from the checkpoint; a resubmission of finished work is
+served from the cache without exploring anything.
+
+A failed job is requeued until it exhausts ``max_attempts``; the
+failure log accumulates in the journal (``repro status`` shows the
+latest error).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import pathlib
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from ..chess.checker import ChessChecker, CheckResult
+from ..core.program import Program
+from ..errors import ReproError
+from ..obs.instrument import Instrumentation
+from ..search.strategy import SearchLimits
+from ..trace.corpus import TraceCorpus
+from .cache import ResultCache
+from .checkpoint import CHECKPOINT_SUFFIX, Checkpointer
+from .jobs import Job, JobQueue
+
+RESULT_SUFFIX = ".json"
+
+
+def resolve_spec(spec: str) -> Program:
+    """Build a program from a job spec (builtin or ``module:factory``)."""
+    from ..programs import resolve_builtin
+
+    program = resolve_builtin(spec)
+    if program is not None:
+        return program
+    if ":" in spec and "." in spec.split(":", 1)[0]:
+        module_name, factory_name = spec.split(":", 1)
+        try:
+            module = importlib.import_module(module_name)
+            program = getattr(module, factory_name)()
+        except Exception as exc:
+            raise ReproError(f"cannot resolve spec {spec!r}: {exc}") from exc
+        if isinstance(program, Program):
+            return program
+        raise ReproError(f"spec {spec!r} did not produce a Program")
+    raise ReproError(f"unknown program spec {spec!r}")
+
+
+class CheckingService:
+    """Dispatches queued jobs to the checker (see module docstring)."""
+
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        max_attempts: int = 3,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.queue = JobQueue(self.root)
+        self.results_dir = self.root / "results"
+        self.checkpoints_dir = self.root / "checkpoints"
+        self.traces_dir = self.root / "traces"
+        self.max_attempts = max(1, max_attempts)
+        self.obs = obs
+        self.cache = ResultCache(
+            self.root / "cache", corpus=TraceCorpus(self.traces_dir), obs=obs
+        )
+
+    # -- paths ---------------------------------------------------------------
+
+    def checkpoint_path(self, job: Job) -> pathlib.Path:
+        return self.checkpoints_dir / f"{job.id}{CHECKPOINT_SUFFIX}"
+
+    def result_path(self, job_id: str) -> pathlib.Path:
+        return self.results_dir / f"{job_id}{RESULT_SUFFIX}"
+
+    def load_result(self, job_id: str) -> Dict[str, Any]:
+        path = self.result_path(job_id)
+        try:
+            return json.loads(path.read_text())
+        except OSError as exc:
+            raise ReproError(f"no result for {job_id}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"result for {job_id} is corrupt: {exc}") from exc
+
+    # -- serving -------------------------------------------------------------
+
+    def serve(
+        self,
+        once: bool = False,
+        poll_interval: float = 0.2,
+        max_jobs: Optional[int] = None,
+    ) -> int:
+        """Process queued jobs; returns how many were handled.
+
+        ``once`` drains the queue and returns instead of idling for
+        new submissions -- the mode CI and the tests use.
+        """
+        self.queue.recover()
+        handled = 0
+        while True:
+            if max_jobs is not None and handled >= max_jobs:
+                return handled
+            job = self.queue.claim()
+            if job is None:
+                if once:
+                    return handled
+                time.sleep(poll_interval)
+                continue
+            self._handle(job)
+            handled += 1
+
+    def _handle(self, job: Job) -> None:
+        try:
+            result = self._run(job)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            self.queue.fail(
+                job.id, str(exc), requeue=job.attempts < self.max_attempts
+            )
+            return
+        path = self._write_result(job, result)
+        cache_hit = bool(result.search.extras.get("cache_hit"))
+        self.queue.complete(job.id, result_path=str(path), cache_hit=cache_hit)
+        # The search is decided; its checkpoint has nothing to resume.
+        Checkpointer(self.checkpoint_path(job), {}).clear()
+
+    def _run(self, job: Job) -> CheckResult:
+        program = resolve_spec(job.spec)
+        limits = SearchLimits(
+            max_executions=job.max_executions,
+            max_transitions=job.max_transitions,
+            stop_on_first_bug=job.stop_on_first_bug,
+        )
+        return ChessChecker(program).check(
+            max_bound=job.max_bound,
+            limits=limits,
+            state_caching=job.state_caching,
+            workers=job.workers,
+            trace_dir=self.traces_dir,
+            trace_spec=job.spec,
+            obs=self.obs,
+            checkpoint=self.checkpoint_path(job),
+            cache=self.cache,
+        )
+
+    def _write_result(self, job: Job, result: CheckResult) -> pathlib.Path:
+        search = result.search
+        bugs: List[Dict[str, Any]] = [
+            {
+                "kind": bug.kind.value,
+                "message": bug.message,
+                "preemptions": bug.preemptions,
+                "schedule_length": len(bug.schedule),
+            }
+            for bug in search.bugs
+        ]
+        payload = {
+            "format": "repro-service-result",
+            "version": 1,
+            "job": job.id,
+            "spec": job.spec,
+            "program": result.program,
+            "completed": search.completed,
+            "stop_reason": search.stop_reason,
+            "certified_bound": result.certified_bound,
+            "executions": result.executions,
+            "transitions": result.transitions,
+            "distinct_states": result.distinct_states,
+            "found_bug": result.found_bug,
+            "bugs": bugs,
+            "cache_hit": bool(search.extras.get("cache_hit")),
+            "corpus_fastpath": bool(search.extras.get("corpus_fastpath")),
+            "resumed": bool(search.extras.get("resumed")),
+        }
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.result_path(job.id)
+        path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        return path

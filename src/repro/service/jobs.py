@@ -1,0 +1,281 @@
+"""A durable job queue over an append-only JSONL journal.
+
+The queue's entire state is the fold of ``jobs.jsonl``: every mutation
+(``submitted``, ``started``, ``completed``, ``failed``, ``requeued``)
+is one appended, fsynced line, and the in-memory view is rebuilt by
+replaying the journal from the top.  That makes the queue trivially
+crash-safe -- a killed daemon loses at most the *acknowledgement* of
+work, never the work itself: :meth:`JobQueue.recover` folds the
+journal, finds jobs stuck ``running`` with no live owner, and requeues
+them.  Re-running a recovered job is cheap by construction, because
+the daemon gives every job a durable checkpoint file
+(:mod:`repro.service.checkpoint`) and a shared result cache
+(:mod:`repro.service.cache`).
+
+Scheduling is by ``(-priority, submission order)``; submissions are
+deduplicated against *active* (queued or running) jobs with the same
+work description, so hammering ``repro submit`` is idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ReproError
+
+JOURNAL_NAME = "jobs.jsonl"
+
+#: Job lifecycle states (the fold of the journal's event stream).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class JobQueueError(ReproError):
+    """The journal is malformed or an operation is invalid."""
+
+
+@dataclass
+class Job:
+    """One unit of checking work and its current lifecycle state."""
+
+    id: str
+    spec: str
+    priority: int = 0
+    max_bound: Optional[int] = None
+    workers: Optional[int] = None
+    stop_on_first_bug: bool = False
+    max_executions: Optional[int] = None
+    max_transitions: Optional[int] = None
+    state_caching: bool = False
+    #: Lifecycle, maintained by the journal fold -- never set directly.
+    status: str = QUEUED
+    attempts: int = 0
+    seq: int = 0
+    result_path: Optional[str] = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+
+    def work_key(self) -> Tuple[Any, ...]:
+        """What makes two submissions "the same work" for dedup."""
+        return (
+            self.spec,
+            self.max_bound,
+            self.workers,
+            self.stop_on_first_bug,
+            self.max_executions,
+            self.max_transitions,
+            self.state_caching,
+        )
+
+    def describe(self) -> str:
+        extra = ""
+        if self.status == DONE and self.cache_hit:
+            extra = " (cache hit)"
+        elif self.status == FAILED and self.error:
+            extra = f" ({self.error})"
+        return (
+            f"{self.id}  {self.status:<7}  prio={self.priority}  "
+            f"attempts={self.attempts}  {self.spec}{extra}"
+        )
+
+
+_JOB_FIELDS = (
+    "spec",
+    "priority",
+    "max_bound",
+    "workers",
+    "stop_on_first_bug",
+    "max_executions",
+    "max_transitions",
+    "state_caching",
+)
+
+
+class JobQueue:
+    """Fold-of-a-journal job queue (see module docstring).
+
+    Not safe for *concurrent writers*: the intended topology is one
+    ``repro serve`` daemon owning the journal, with ``submit``/
+    ``status`` CLI invocations running between daemon polls.  Each
+    public method re-reads the journal, so separate processes always
+    see each other's appended events.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        self.journal = self.root / JOURNAL_NAME
+
+    # -- journal primitives --------------------------------------------------
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(event, sort_keys=True)
+        with open(self.journal, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _events(self) -> List[Dict[str, Any]]:
+        if not self.journal.exists():
+            return []
+        events: List[Dict[str, Any]] = []
+        try:
+            text = self.journal.read_text()
+        except OSError as exc:
+            raise JobQueueError(f"cannot read journal {self.journal}: {exc}") from exc
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JobQueueError(
+                    f"{self.journal}:{lineno}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(event, dict) or "event" not in event:
+                raise JobQueueError(
+                    f"{self.journal}:{lineno}: journal entries need an 'event' key"
+                )
+            events.append(event)
+        return events
+
+    def _fold(self) -> Dict[str, Job]:
+        """Replay the journal into the current job table."""
+        jobs: Dict[str, Job] = {}
+        for event in self._events():
+            kind = event["event"]
+            if kind == "submitted":
+                data = event.get("job")
+                if not isinstance(data, dict) or "id" not in data:
+                    raise JobQueueError("submitted event without a job object")
+                job = Job(
+                    id=str(data["id"]),
+                    seq=int(data.get("seq", 0)),
+                    **{name: data.get(name) for name in _JOB_FIELDS},
+                )
+                job.priority = int(job.priority or 0)
+                job.stop_on_first_bug = bool(job.stop_on_first_bug)
+                job.state_caching = bool(job.state_caching)
+                jobs[job.id] = job
+                continue
+            job = jobs.get(str(event.get("id")))
+            if job is None:
+                # An event for an unknown job: tolerate (a truncated
+                # journal head) rather than refuse to serve the rest.
+                continue
+            if kind == "started":
+                job.status = RUNNING
+                job.attempts += 1
+            elif kind == "completed":
+                job.status = DONE
+                job.result_path = event.get("result_path")
+                job.cache_hit = bool(event.get("cache_hit"))
+            elif kind == "failed":
+                job.status = FAILED
+                job.error = event.get("error")
+            elif kind == "requeued":
+                job.status = QUEUED
+                job.error = event.get("error", job.error)
+        return jobs
+
+    # -- public API ----------------------------------------------------------
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in submission order."""
+        return sorted(self._fold().values(), key=lambda job: job.seq)
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._fold().get(job_id)
+
+    def submit(
+        self,
+        spec: str,
+        priority: int = 0,
+        max_bound: Optional[int] = None,
+        workers: Optional[int] = None,
+        stop_on_first_bug: bool = False,
+        max_executions: Optional[int] = None,
+        max_transitions: Optional[int] = None,
+        state_caching: bool = False,
+    ) -> Job:
+        """Append a new job, or return the active duplicate if any."""
+        jobs = self._fold()
+        candidate = Job(
+            id="",
+            spec=spec,
+            priority=priority,
+            max_bound=max_bound,
+            workers=workers,
+            stop_on_first_bug=stop_on_first_bug,
+            max_executions=max_executions,
+            max_transitions=max_transitions,
+            state_caching=state_caching,
+        )
+        for job in sorted(jobs.values(), key=lambda j: j.seq):
+            if job.status in (QUEUED, RUNNING) and job.work_key() == candidate.work_key():
+                return job
+        seq = 1 + max((job.seq for job in jobs.values()), default=0)
+        candidate.id = f"job-{seq:06d}"
+        candidate.seq = seq
+        payload = asdict(candidate)
+        # Lifecycle fields are derived from later events, not recorded
+        # at submission.
+        for name in ("status", "attempts", "result_path", "error", "cache_hit"):
+            payload.pop(name, None)
+        self._append({"event": "submitted", "job": payload})
+        return candidate
+
+    def claim(self) -> Optional[Job]:
+        """Take the best queued job and mark it running."""
+        queued = [job for job in self._fold().values() if job.status == QUEUED]
+        if not queued:
+            return None
+        job = min(queued, key=lambda j: (-j.priority, j.seq))
+        self._append({"event": "started", "id": job.id})
+        job.status = RUNNING
+        job.attempts += 1
+        return job
+
+    def complete(
+        self, job_id: str, result_path: Optional[str] = None, cache_hit: bool = False
+    ) -> None:
+        self._append(
+            {
+                "event": "completed",
+                "id": job_id,
+                "result_path": result_path,
+                "cache_hit": cache_hit,
+            }
+        )
+
+    def fail(self, job_id: str, error: str, requeue: bool = False) -> None:
+        self._append(
+            {
+                "event": "requeued" if requeue else "failed",
+                "id": job_id,
+                "error": error,
+            }
+        )
+
+    def recover(self) -> List[Job]:
+        """Requeue every job left ``running`` by a dead daemon.
+
+        Called on daemon startup, before any claim: at that moment no
+        worker legitimately owns a job, so anything still marked
+        running is an orphan of a crash.  The requeued jobs resume
+        from their durable checkpoints rather than starting over.
+        """
+        recovered: List[Job] = []
+        for job in self.jobs():
+            if job.status == RUNNING:
+                self.fail(job.id, "daemon died while running", requeue=True)
+                job.status = QUEUED
+                recovered.append(job)
+        return recovered

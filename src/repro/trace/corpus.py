@@ -150,6 +150,30 @@ class TraceCorpus:
         """Load every trace, raising on the first malformed file."""
         return [TraceRecord.load(path) for path in self.paths()]
 
+    def matching(self, program: Program) -> List[tuple]:
+        """``(path, trace)`` pairs recorded for ``program``.
+
+        Matches on the full :class:`~repro.trace.format.ProgramFingerprint`
+        (display name plus thread-structure hash), so a same-named
+        program whose thread layout changed is not offered for replay.
+        Malformed trace files are skipped -- callers use this as an
+        opportunistic fast path (see
+        :meth:`repro.service.cache.ResultCache.corpus_fastpath`), not
+        as validation.
+        """
+        from .format import ProgramFingerprint
+
+        wanted = ProgramFingerprint.of(program)
+        found: List[tuple] = []
+        for path in self.paths():
+            try:
+                trace = TraceRecord.load(path)
+            except TraceFormatError:
+                continue
+            if trace.program == wanted:
+                found.append((path, trace))
+        return found
+
     def __len__(self) -> int:
         return len(self.paths())
 

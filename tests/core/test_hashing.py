@@ -1,0 +1,86 @@
+"""Process-stable hashing: the property checkpoint resume rests on.
+
+State fingerprints are persisted into checkpoints and compared by a
+*different* process, so they must depend only on ``PYTHONHASHSEED``.
+CPython before 3.12 id-hashes ``None``/``Ellipsis``/``NotImplemented``
+(address-derived, moved by ASLR every interpreter start), which is
+exactly what :func:`repro.core.hashing.stable_hash` papers over.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.core.hashing import stable_hash
+
+
+class TestStableHash:
+    def test_equal_values_hash_equal(self):
+        cases = [
+            None,
+            Ellipsis,
+            NotImplemented,
+            0,
+            "x",
+            (1, None, ("y", Ellipsis)),
+            frozenset({None, 1, ("a", None)}),
+        ]
+        for value in cases:
+            assert stable_hash(value) == stable_hash(value)
+
+    def test_distinguishes_the_singletons(self):
+        assert stable_hash(None) != stable_hash(Ellipsis)
+        assert stable_hash(None) != stable_hash(NotImplemented)
+        assert stable_hash((None,)) != stable_hash((Ellipsis,))
+
+    def test_plain_values_keep_their_builtin_hash(self):
+        for value in (0, 1, -7, "abc", (1, 2), frozenset({1, 2})):
+            assert stable_hash(value) == hash(value)
+
+    def test_unhashable_raises_type_error_like_hash(self):
+        with pytest.raises(TypeError):
+            stable_hash([1, 2])
+        with pytest.raises(TypeError):
+            stable_hash((1, [2]))
+
+
+#: Computes a digest of every state fingerprint of one full check; two
+#: same-seed processes must print the same line.
+_DIGEST_SCRIPT = (
+    "import hashlib, json\n"
+    "from repro import ChessChecker\n"
+    "from repro.core.hashing import stable_hash\n"
+    "from repro.programs import resolve_builtin\n"
+    "r = ChessChecker(resolve_builtin('toy:stats-race')).check(max_bound=1)\n"
+    "keys = sorted(r.search.context.states.keys())\n"
+    "digest = hashlib.sha256(json.dumps(keys).encode()).hexdigest()\n"
+    "print(len(keys), digest, stable_hash(None), stable_hash((0, None)))\n"
+)
+
+
+def _digest_in_fresh_process():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env["PYTHONHASHSEED"] = "0"
+    proc = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
+
+
+def test_fingerprints_agree_across_same_seed_processes():
+    """The regression this module exists for: two fresh interpreters
+    with the same hash seed compute identical state-fingerprint sets
+    (id-hashed ``None`` inside snapshots or input chains used to make
+    a resumed checkpoint double-count revisited states)."""
+    assert _digest_in_fresh_process() == _digest_in_fresh_process()

@@ -1,0 +1,67 @@
+"""Shared helpers for the service tests: the buggy-builtin bound
+table and the cross-run comparison functions."""
+
+from __future__ import annotations
+
+from repro import ChessChecker
+
+#: Every buggy built-in, mapped to a bound sufficient for its defect
+#: (mirrors tests/trace/test_roundtrip.py; a guard test pins this to
+#: ``repro.programs.EXPECTED_BUGS`` so new buggy built-ins cannot
+#: silently dodge the resume-parity property).
+BOUNDS = {
+    "bluetooth": 2,
+    "wsq:pop-race": 2,
+    "wsq:steal-stale-tail": 2,
+    "wsq:pop-lost-restore": 1,
+    "ape:init-race": 0,
+    "ape:early-return": 0,
+    "ape:stats-race": 1,
+    "ape:double-take": 2,
+    "dryad:missing-handler": 0,
+    "dryad:use-after-free": 1,
+    "dryad:refcount-race": 1,
+    "dryad:close-sem-race": 1,
+    "dryad:double-free": 1,
+    "toy:racy-counter": 0,
+    "toy:atomic-counter": 1,
+    "toy:deadlock": 1,
+    "toy:uaf": 0,
+    "toy:stats-race": 0,
+    "toy:stats-assert": 1,
+    "toy:stats-deadlock": 1,
+}
+
+
+def summary(check_result):
+    """The essence a resumed run must reproduce exactly."""
+    return {
+        "executions": check_result.executions,
+        "transitions": check_result.transitions,
+        "distinct_states": check_result.distinct_states,
+        "certified_bound": check_result.certified_bound,
+        "states_by_bound": check_result.search.context.states_by_bound(),
+    }
+
+
+def identities(check_result):
+    """The sorted BugReport.identity set, in an orderable encoding
+    (BugKind itself is not orderable)."""
+    return sorted(
+        (bug.kind.value,) + tuple(bug.identity[1]) for bug in check_result.bugs
+    )
+
+
+_BASELINES = {}
+
+
+def baseline(spec):
+    """The uninterrupted serial check of ``spec`` at its bound, computed
+    once per test session (several parity tests compare against it)."""
+    from repro.programs import resolve_builtin
+
+    if spec not in _BASELINES:
+        _BASELINES[spec] = ChessChecker(resolve_builtin(spec)).check(
+            max_bound=BOUNDS[spec]
+        )
+    return _BASELINES[spec]

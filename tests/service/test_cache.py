@@ -1,0 +1,134 @@
+"""The content-addressed result cache and its corpus fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChessChecker, SearchLimits
+from repro.programs import resolve_builtin, toy
+from repro.service.cache import ResultCache, result_cache_key
+
+from ._parity import identities, summary
+
+
+class _NoExploration:
+    """Stands in for ProgramStateSpace: constructing it means the
+    checker tried to explore, which a cache hit must never do."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("cache hit must not touch the state space")
+
+
+def test_cache_hit_serves_without_exploring(tmp_path, monkeypatch):
+    spec, bound = "toy:stats-assert", 1
+    cache = ResultCache(tmp_path / "cache")
+    first = ChessChecker(resolve_builtin(spec)).check(max_bound=bound, cache=cache)
+    assert len(cache) == 1
+
+    monkeypatch.setattr("repro.chess.checker.ProgramStateSpace", _NoExploration)
+    served = ChessChecker(resolve_builtin(spec)).check(max_bound=bound, cache=cache)
+    assert served.search.extras.get("cache_hit") is True
+    assert summary(served) == summary(first)
+    assert identities(served) == identities(first)
+    assert [b.describe() for b in served.bugs] == [b.describe() for b in first.bugs]
+
+
+def test_key_separates_programs_bounds_limits_and_options(tmp_path):
+    program = resolve_builtin("toy:stats-assert")
+    base = result_cache_key(program, None, limits=None, max_bound=1,
+                            state_caching=False, analysis=False)
+    assert base == result_cache_key(program, None, limits=None, max_bound=1,
+                                    state_caching=False, analysis=False)
+    variants = [
+        result_cache_key(toy.racy_counter(), None, limits=None, max_bound=1,
+                         state_caching=False, analysis=False),
+        result_cache_key(program, None, limits=None, max_bound=2,
+                         state_caching=False, analysis=False),
+        result_cache_key(program, None, limits=SearchLimits(max_executions=5),
+                         max_bound=1, state_caching=False, analysis=False),
+        result_cache_key(program, None, limits=None, max_bound=1,
+                         state_caching=True, analysis=False),
+        result_cache_key(program, None, limits=None, max_bound=1,
+                         state_caching=False, analysis=True),
+    ]
+    assert len({base, *variants}) == len(variants) + 1
+
+
+def test_wall_clock_budgets_bypass_the_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    limits = SearchLimits(max_seconds=60)
+    checker = ChessChecker(resolve_builtin("toy:stats-assert"))
+    first = checker.check(max_bound=1, limits=limits, cache=cache)
+    second = checker.check(max_bound=1, limits=limits, cache=cache)
+    assert len(cache) == 0
+    assert not first.search.extras.get("cache_hit")
+    assert not second.search.extras.get("cache_hit")
+
+
+def test_incomplete_results_are_not_stored(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    result = ChessChecker(resolve_builtin("wsq:pop-race")).check(
+        max_bound=2, limits=SearchLimits(max_transitions=50), cache=cache
+    )
+    assert not result.search.completed
+    assert len(cache) == 0
+
+
+def test_stop_on_first_bug_results_are_stored(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    limits = SearchLimits(stop_on_first_bug=True)
+    checker = ChessChecker(resolve_builtin("toy:stats-assert"))
+    first = checker.check(max_bound=1, limits=limits, cache=cache)
+    assert first.found_bug and len(cache) == 1
+    served = checker.check(max_bound=1, limits=limits, cache=cache)
+    assert served.search.extras.get("cache_hit") is True
+    assert identities(served) == identities(first)
+
+
+def test_corpus_fastpath_replays_a_stored_witness(tmp_path):
+    from repro.trace.corpus import TraceCorpus
+
+    spec = "toy:stats-assert"
+    traces = tmp_path / "traces"
+    bug = ChessChecker(resolve_builtin(spec)).find_bug(
+        max_bound=1, trace_dir=traces, trace_spec=spec
+    )
+    assert bug is not None and list(traces.glob("*.trace.json"))
+
+    cache = ResultCache(tmp_path / "cache", corpus=TraceCorpus(traces))
+    result = ChessChecker(resolve_builtin(spec)).check(
+        max_bound=1, limits=SearchLimits(stop_on_first_bug=True), cache=cache
+    )
+    assert result.search.extras.get("corpus_fastpath") is True
+    assert result.found_bug
+    assert result.executions == 1
+    # A replayed witness is evidence for *this* program only; it is
+    # not a completed search and must not poison the result cache.
+    assert len(cache) == 0
+
+
+def test_corpus_fastpath_only_applies_to_stop_on_first_bug(tmp_path):
+    from repro.trace.corpus import TraceCorpus
+
+    spec = "toy:stats-assert"
+    traces = tmp_path / "traces"
+    ChessChecker(resolve_builtin(spec)).find_bug(
+        max_bound=1, trace_dir=traces, trace_spec=spec
+    )
+    cache = ResultCache(tmp_path / "cache", corpus=TraceCorpus(traces))
+    full = ChessChecker(resolve_builtin(spec)).check(max_bound=1, cache=cache)
+    # An exhaustive check cannot be served by one witness replay.
+    assert not full.search.extras.get("corpus_fastpath")
+    assert full.search.completed
+
+
+def test_cache_and_checkpoint_reject_custom_strategies(tmp_path):
+    from repro import DepthFirstSearch
+
+    checker = ChessChecker(toy.racy_counter())
+    with pytest.raises(ValueError):
+        checker.check(strategy=DepthFirstSearch(),
+                      cache=ResultCache(tmp_path / "cache"))
+    with pytest.raises(ValueError):
+        checker.check(strategy=DepthFirstSearch(),
+                      checkpoint=tmp_path / "x.ckpt.json")

@@ -1,0 +1,147 @@
+"""The service surface of the CLI in fresh interpreters: the
+machine-readable registry, the submit/serve/status/results loop, and
+the hard acceptance test -- SIGKILL a parallel check mid-run, resume
+it, and get exactly the uninterrupted serial answer."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.programs import EXPECTED_BUGS, builtin_registry
+
+from ._parity import BOUNDS, baseline, identities, summary
+
+#: Specs big enough that a promptly-delivered SIGKILL lands mid-search.
+KILL_SPECS = ["wsq:pop-race", "dryad:use-after-free"]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    # Checkpoints bind to the hash seed (state fingerprints use it);
+    # resuming in a different process requires pinning it.
+    env["PYTHONHASHSEED"] = "0"
+    return env
+
+
+def _run(*args, check=True):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=_env(),
+    )
+    if check:
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc
+
+
+def test_list_json_is_a_machine_readable_registry():
+    proc = _run("list", "--json")
+    entries = json.loads(proc.stdout)
+    by_spec = {entry["spec"]: entry for entry in entries}
+    assert set(by_spec) == set(builtin_registry())
+    for entry in entries:
+        assert set(entry) == {"spec", "name", "threads", "expected_bug", "buggy"}
+        assert isinstance(entry["threads"], int) and entry["threads"] >= 1
+        assert entry["buggy"] == (entry["spec"] in EXPECTED_BUGS)
+        assert entry["expected_bug"] == EXPECTED_BUGS.get(entry["spec"])
+    assert by_spec["wsq:pop-race"]["expected_bug"] == "assertion"
+    assert by_spec["toy:dekker"]["buggy"] is False
+
+
+def test_submit_serve_status_results_loop(tmp_path):
+    root = str(tmp_path / "svc")
+    job_id = _run("submit", root, "toy:stats-race", "--bound", "1").stdout.strip()
+    assert job_id == "job-000001"
+    # Identical resubmission is deduplicated while queued.
+    assert _run("submit", root, "toy:stats-race", "--bound", "1").stdout.strip() == job_id
+    _run("serve", root, "--once")
+    status = json.loads(_run("status", root, "--json").stdout)
+    assert [job["status"] for job in status] == ["done"]
+    payload = json.loads(_run("results", root, job_id).stdout)
+    assert payload["job"] == job_id
+    assert payload["found_bug"] is True
+    # Resubmitting finished work is a cache hit.
+    second = _run("submit", root, "toy:stats-race", "--bound", "1").stdout.strip()
+    assert second != job_id
+    _run("serve", root, "--once")
+    assert json.loads(_run("results", root, second).stdout)["cache_hit"] is True
+
+
+@pytest.mark.parametrize("spec", KILL_SPECS)
+def test_sigkilled_parallel_check_resumes_to_serial_parity(spec, tmp_path):
+    base = baseline(spec)
+    bound = BOUNDS[spec]
+    ckpt = tmp_path / "kill.ckpt.json"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "check", spec,
+            "--bound", str(bound), "--workers", "2",
+            "--checkpoint", str(ckpt), "--checkpoint-stride", "4",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        env=_env(),
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while not ckpt.exists() and time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.01)
+        assert ckpt.exists(), "no checkpoint appeared before the run ended"
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+    # Resume in a fresh interpreter (same pinned hash seed) and report
+    # the merged result as JSON for exact comparison.
+    resume = (
+        "import json, sys\n"
+        "from repro import ChessChecker\n"
+        "from repro.programs import resolve_builtin\n"
+        f"r = ChessChecker(resolve_builtin({spec!r})).check(\n"
+        f"    max_bound={bound}, workers=2, checkpoint={str(ckpt)!r})\n"
+        "print(json.dumps({\n"
+        "    'executions': r.executions,\n"
+        "    'transitions': r.transitions,\n"
+        "    'distinct_states': r.distinct_states,\n"
+        "    'certified_bound': r.certified_bound,\n"
+        "    'states_by_bound': sorted(r.search.context.states_by_bound().items()),\n"
+        "    'identities': sorted([b.kind.value] + [str(t) for t in b.identity[1]]\n"
+        "                         for b in r.search.bugs),\n"
+        "    'completed': r.search.completed,\n"
+        "}))\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", resume],
+        capture_output=True,
+        text=True,
+        env=_env(),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    resumed = json.loads(proc.stdout)
+    assert resumed["completed"] is True
+    expected = summary(base)
+    assert resumed["executions"] == expected["executions"]
+    assert resumed["transitions"] == expected["transitions"]
+    assert resumed["distinct_states"] == expected["distinct_states"]
+    assert resumed["certified_bound"] == expected["certified_bound"]
+    assert resumed["states_by_bound"] == sorted(
+        [k, v] for k, v in expected["states_by_bound"].items()
+    )
+    assert resumed["identities"] == sorted(
+        [kind] + [str(t) for t in rest] for (kind, *rest) in identities(base)
+    )

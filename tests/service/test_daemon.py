@@ -1,0 +1,79 @@
+"""The checking service: dispatch, durability, cache integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.daemon import CheckingService, resolve_spec
+
+
+def test_resolve_spec_builtin_and_factory():
+    assert resolve_spec("toy:racy-counter").name
+    assert resolve_spec("repro.programs.toy:racy_counter").name
+    with pytest.raises(ReproError):
+        resolve_spec("no-such-program")
+    with pytest.raises(ReproError):
+        resolve_spec("repro.programs.toy:not_a_factory")
+
+
+def test_serve_once_runs_queued_jobs_and_writes_results(tmp_path):
+    service = CheckingService(tmp_path)
+    job = service.queue.submit("toy:stats-race", max_bound=1)
+    handled = service.serve(once=True)
+    assert handled == 1
+    record = service.queue.get(job.id)
+    assert record.status == "done"
+    payload = service.load_result(job.id)
+    assert payload["format"] == "repro-service-result"
+    assert payload["spec"] == "toy:stats-race"
+    assert payload["found_bug"] is True
+    assert payload["completed"] is True
+    assert {bug["kind"] for bug in payload["bugs"]} == {"data-race"}
+    # Decided searches leave no checkpoint to resume.
+    assert not service.checkpoint_path(job).exists()
+
+
+def test_resubmitted_work_is_served_from_the_cache(tmp_path):
+    service = CheckingService(tmp_path)
+    first = service.queue.submit("toy:stats-assert", max_bound=1)
+    service.serve(once=True)
+    again = service.queue.submit("toy:stats-assert", max_bound=1)
+    assert again.id != first.id
+    service.serve(once=True)
+    assert service.queue.get(again.id).cache_hit is True
+    fresh = service.load_result(first.id)
+    cached = service.load_result(again.id)
+    for key in ("executions", "transitions", "distinct_states", "bugs"):
+        assert cached[key] == fresh[key]
+    assert cached["cache_hit"] is True and fresh["cache_hit"] is False
+
+
+def test_startup_recovers_jobs_a_dead_daemon_left_running(tmp_path):
+    service = CheckingService(tmp_path)
+    job = service.queue.submit("toy:stats-race", max_bound=1)
+    claimed = service.queue.claim()  # daemon dies here, job marked running
+    assert claimed.id == job.id
+    revived = CheckingService(tmp_path)
+    assert revived.serve(once=True) == 1
+    record = revived.queue.get(job.id)
+    assert record.status == "done"
+    assert record.attempts == 2
+    assert revived.load_result(job.id)["found_bug"] is True
+
+
+def test_bad_jobs_fail_after_max_attempts(tmp_path):
+    service = CheckingService(tmp_path, max_attempts=2)
+    job = service.queue.submit("no-such-program")
+    service.serve(once=True)
+    record = service.queue.get(job.id)
+    assert record.status == "failed"
+    assert record.attempts == 2
+    assert "no-such-program" in record.error
+    with pytest.raises(ReproError):
+        service.load_result(job.id)
+
+
+def test_missing_result_is_a_repro_error(tmp_path):
+    with pytest.raises(ReproError):
+        CheckingService(tmp_path).load_result("job-000042")

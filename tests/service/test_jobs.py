@@ -1,0 +1,107 @@
+"""The durable JSONL job queue: journal fold, dedup, priorities,
+crash recovery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.jobs import JOURNAL_NAME, Job, JobQueue, JobQueueError
+
+
+def test_submit_assigns_sequential_ids_and_persists(tmp_path):
+    queue = JobQueue(tmp_path)
+    first = queue.submit("toy:racy-counter")
+    second = queue.submit("bluetooth", max_bound=2)
+    assert [first.id, second.id] == ["job-000001", "job-000002"]
+    # A fresh instance (another process) folds the same state.
+    fresh = JobQueue(tmp_path)
+    assert [job.id for job in fresh.jobs()] == [first.id, second.id]
+    assert fresh.get(second.id).max_bound == 2
+
+
+def test_submit_deduplicates_active_work(tmp_path):
+    queue = JobQueue(tmp_path)
+    job = queue.submit("bluetooth", max_bound=2)
+    assert queue.submit("bluetooth", max_bound=2).id == job.id
+    # Different knobs are different work.
+    assert queue.submit("bluetooth", max_bound=1).id != job.id
+    # Priority is scheduling, not work: it does not defeat dedup.
+    assert queue.submit("bluetooth", max_bound=2, priority=9).id == job.id
+
+
+def test_finished_work_can_be_resubmitted(tmp_path):
+    queue = JobQueue(tmp_path)
+    job = queue.submit("bluetooth")
+    queue.claim()
+    queue.complete(job.id, result_path="r.json", cache_hit=False)
+    again = queue.submit("bluetooth")
+    assert again.id != job.id
+
+
+def test_claim_order_is_priority_then_submission(tmp_path):
+    queue = JobQueue(tmp_path)
+    low = queue.submit("toy:racy-counter")
+    high = queue.submit("bluetooth", priority=5)
+    later = queue.submit("toy:deadlock")
+    assert queue.claim().id == high.id
+    assert queue.claim().id == low.id
+    assert queue.claim().id == later.id
+    assert queue.claim() is None
+
+
+def test_fail_with_requeue_returns_the_job_to_the_queue(tmp_path):
+    queue = JobQueue(tmp_path)
+    job = queue.submit("bluetooth")
+    claimed = queue.claim()
+    assert claimed.attempts == 1
+    queue.fail(job.id, "worker crashed", requeue=True)
+    assert queue.get(job.id).status == "queued"
+    reclaimed = queue.claim()
+    assert reclaimed.id == job.id and reclaimed.attempts == 2
+    queue.fail(job.id, "crashed again", requeue=False)
+    final = queue.get(job.id)
+    assert final.status == "failed"
+    assert final.error == "crashed again"
+
+
+def test_recover_requeues_orphaned_running_jobs(tmp_path):
+    queue = JobQueue(tmp_path)
+    orphan = queue.submit("bluetooth")
+    done = queue.submit("toy:racy-counter")
+    queue.claim()  # orphan -> running
+    queue.claim()
+    queue.complete(done.id)
+    recovered = JobQueue(tmp_path).recover()
+    assert [job.id for job in recovered] == [orphan.id]
+    after = JobQueue(tmp_path)
+    assert after.get(orphan.id).status == "queued"
+    assert after.get(done.id).status == "done"
+
+
+def test_malformed_journal_is_a_queue_error(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit("bluetooth")
+    journal = tmp_path / JOURNAL_NAME
+    with open(journal, "a", encoding="utf-8") as fh:
+        fh.write("not json\n")
+    with pytest.raises(JobQueueError):
+        queue.jobs()
+
+
+def test_events_for_unknown_jobs_are_tolerated(tmp_path):
+    journal = tmp_path / JOURNAL_NAME
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    journal.write_text(json.dumps({"event": "completed", "id": "job-000099"}) + "\n")
+    queue = JobQueue(tmp_path)
+    assert queue.jobs() == []
+    job = queue.submit("bluetooth")
+    assert queue.get(job.id).status == "queued"
+
+
+def test_work_key_excludes_priority():
+    a = Job(id="a", spec="x", priority=0, max_bound=1)
+    b = Job(id="b", spec="x", priority=7, max_bound=1)
+    assert a.work_key() == b.work_key()
+    assert a.work_key() != Job(id="c", spec="x", max_bound=2).work_key()
