@@ -383,24 +383,100 @@ def _cmd_corpus_run(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import CheckingService
+def _serve_obs(args: argparse.Namespace):
+    """Instrumentation for a daemon run, if --metrics-out asked for it."""
+    if not getattr(args, "metrics_out", None):
+        return None
+    from .obs import Instrumentation
 
-    service = CheckingService(args.root, max_attempts=args.max_attempts)
-    handled = service.serve(
-        once=args.once,
-        poll_interval=args.poll_interval,
-        max_jobs=args.max_jobs,
-    )
+    return Instrumentation()
+
+
+def _report_serve(queue, handled: int) -> int:
     print(f"handled {handled} job(s)")
-    jobs = service.queue.jobs()
-    failed = [job for job in jobs if job.status == "failed"]
+    failed = [job for job in queue.jobs() if job.status == "failed"]
     for job in failed:
         print(job.describe(), file=sys.stderr)
     return 1 if failed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    obs = _serve_obs(args)
+    fleet_mode = args.fleet or args.http is not None or args.peer
+    if fleet_mode:
+        from .net import FleetDaemon
+
+        daemon = FleetDaemon(
+            args.root,
+            daemon_id=args.daemon_id,
+            lease_ttl=args.lease_ttl,
+            http_port=args.http,
+            peers=args.peer or (),
+            max_attempts=args.max_attempts,
+            obs=obs,
+        )
+        daemon.start()
+        if daemon.url:
+            print(f"listening on {daemon.url}", flush=True)
+        try:
+            handled = daemon.serve(
+                once=args.once,
+                poll_interval=args.poll_interval,
+                max_jobs=args.max_jobs,
+            )
+        finally:
+            daemon.close()
+            if obs is not None:
+                obs.snapshot().save(args.metrics_out)
+        return _report_serve(daemon.service.queue, handled)
+
+    from .service import CheckingService
+
+    service = CheckingService(args.root, max_attempts=args.max_attempts, obs=obs)
+    handled = service.serve(
+        once=args.once,
+        poll_interval=args.poll_interval,
+        max_jobs=args.max_jobs,
+    )
+    if obs is not None:
+        obs.snapshot().save(args.metrics_out)
+    return _report_serve(service.queue, handled)
+
+
+def _service_client(args: argparse.Namespace):
+    from .net import ServiceClient
+
+    return ServiceClient(args.server, timeout=args.timeout, retries=args.retries)
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
+    if args.server:
+        # With --server the ROOT positional is dropped, so the single
+        # positional (bound to `root` by argparse) is the program.
+        if args.program is not None:
+            raise SystemExit("pass PROGRAM only (no ROOT) with --server")
+        if args.root is None:
+            raise SystemExit("submit --server needs a PROGRAM")
+        from .net import ServiceClientError
+
+        try:
+            job = _service_client(args).submit(
+                args.root,
+                priority=args.priority,
+                max_bound=args.bound,
+                workers=args.workers,
+                stop_on_first_bug=args.stop_on_first_bug,
+                max_executions=args.executions,
+                max_transitions=args.transitions,
+                state_caching=args.state_caching,
+            )
+        except ServiceClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(job["id"])
+        return 0
+    if args.root is None or args.program is None:
+        raise SystemExit("submit needs ROOT and PROGRAM (or --server URL PROGRAM)")
     from .service import JobQueue
 
     queue = JobQueue(args.root)
@@ -418,18 +494,53 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wire_job_record(record: dict):
+    """A Job view of a wire job dict, for uniform describe()/asdict."""
+    from .service import Job
+
+    return Job(**{k: v for k, v in record.items() if k != "identity"})
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
-    from .service import JobQueue
+    if args.server:
+        from .net import ServiceClientError
 
-    jobs = JobQueue(args.root).jobs()
+        job_id = args.job if args.job is not None else args.root
+        client = _service_client(args)
+        try:
+            records = [client.job(job_id)] if job_id else client.jobs()
+        except ServiceClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        jobs = [_wire_job_record(record) for record in records]
+        source = args.server
+    else:
+        if args.root is None:
+            raise SystemExit("status needs a ROOT (or --server URL)")
+        from .service import JobQueue
+
+        queue = JobQueue(args.root)
+        if args.job is not None:
+            job = queue.get(args.job)
+            if job is None:
+                print(
+                    f"error: unknown job id {args.job!r} under {args.root} "
+                    "(run `repro status` without a job id to list them)",
+                    file=sys.stderr,
+                )
+                return 1
+            jobs = [job]
+        else:
+            jobs = queue.jobs()
+        source = args.root
     if args.json:
         print(json.dumps([dataclasses.asdict(job) for job in jobs], indent=2))
         return 0
     if not jobs:
-        print(f"no jobs under {args.root}")
+        print(f"no jobs under {source}")
         return 0
     for job in jobs:
         print(job.describe())
@@ -439,16 +550,57 @@ def _cmd_status(args: argparse.Namespace) -> int:
 def _cmd_results(args: argparse.Namespace) -> int:
     import json
 
-    from .errors import ReproError
-    from .service import CheckingService
+    if args.server:
+        from .net import ServiceClientError
 
-    service = CheckingService(args.root)
-    try:
-        payload = service.load_result(args.job)
-    except ReproError as exc:
-        raise SystemExit(str(exc))
+        job_id = args.job if args.job is not None else args.root
+        if not job_id:
+            raise SystemExit("results --server needs a JOB id")
+        try:
+            payload = _service_client(args).results(job_id)
+        except ServiceClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        if args.root is None or args.job is None:
+            raise SystemExit("results needs ROOT and JOB (or --server URL JOB)")
+        from .errors import ReproError
+        from .service import CheckingService
+
+        service = CheckingService(args.root)
+        record = service.queue.get(args.job)
+        if record is None:
+            print(
+                f"error: unknown job id {args.job!r} under {args.root} "
+                f"(run `repro status {args.root}` to list jobs)",
+                file=sys.stderr,
+            )
+            return 1
+        if record.status != "done":
+            print(
+                f"error: job {args.job} is {record.status}; no result yet",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            payload = service.load_result(args.job)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     print(json.dumps(payload, sort_keys=True, indent=2))
     return 0
+
+
+def _add_server_arguments(parser: argparse.ArgumentParser) -> None:
+    """The remote-service flags shared by submit/status/results."""
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="talk to a daemon's HTTP API (e.g. "
+                        "http://host:8080) instead of a local service "
+                        "directory; the ROOT positional is dropped")
+    parser.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                        help="per-request timeout for --server")
+    parser.add_argument("--retries", type=int, default=3, metavar="N",
+                        help="bounded retries (jittered backoff) for --server")
 
 
 def _result_cache(args: argparse.Namespace):
@@ -542,12 +694,36 @@ def main(argv: Optional[list] = None) -> int:
                               help="exit after handling N jobs")
     serve_parser.add_argument("--max-attempts", type=int, default=3, metavar="N",
                               help="give up on a job after N failed attempts")
+    serve_parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                              help="serve the HTTP API on this port (0 picks "
+                              "a free one; prints the bound URL); implies "
+                              "fleet mode")
+    serve_parser.add_argument("--fleet", action="store_true",
+                              help="claim jobs under lease fencing so several "
+                              "daemons can share this service root "
+                              "(see docs/service.md)")
+    serve_parser.add_argument("--daemon-id", default=None, metavar="NAME",
+                              help="this daemon's identity in lease records "
+                              "(default: host-pid)")
+    serve_parser.add_argument("--lease-ttl", type=float, default=5.0,
+                              metavar="SECONDS",
+                              help="lease time-to-live; a daemon silent this "
+                              "long forfeits its running jobs to the fleet")
+    serve_parser.add_argument("--peer", action="append", default=None,
+                              metavar="URL",
+                              help="peer daemon base URL for cache/trace sync "
+                              "(repeatable); implies fleet mode")
+    serve_parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                              help="write a repro-metrics JSON snapshot on "
+                              "exit (inspect with `repro stats FILE`)")
 
     submit_parser = commands.add_parser(
         "submit", help="enqueue a checking job for `repro serve`"
     )
-    submit_parser.add_argument("root", help="service directory")
-    submit_parser.add_argument("program", help="built-in name or module:factory")
+    submit_parser.add_argument("root", nargs="?", default=None,
+                               help="service directory (omit with --server)")
+    submit_parser.add_argument("program", nargs="?", default=None,
+                               help="built-in name or module:factory")
     submit_parser.add_argument("--bound", "--max-bound", dest="bound", type=int,
                                default=None,
                                help="stop ICB after this preemption bound")
@@ -562,19 +738,27 @@ def main(argv: Optional[list] = None) -> int:
                                help="transition budget")
     submit_parser.add_argument("--state-caching", action="store_true",
                                help="enable Algorithm 1's work-item table")
+    _add_server_arguments(submit_parser)
 
     status_parser = commands.add_parser(
         "status", help="show every job in a service directory"
     )
-    status_parser.add_argument("root", help="service directory")
+    status_parser.add_argument("root", nargs="?", default=None,
+                               help="service directory (omit with --server)")
+    status_parser.add_argument("job", nargs="?", default=None,
+                               help="show only this job id (errors if unknown)")
     status_parser.add_argument("--json", action="store_true",
                                help="emit machine-readable job records")
+    _add_server_arguments(status_parser)
 
     results_parser = commands.add_parser(
         "results", help="print a finished job's result report"
     )
-    results_parser.add_argument("root", help="service directory")
-    results_parser.add_argument("job", help="job id (see `repro status`)")
+    results_parser.add_argument("root", nargs="?", default=None,
+                                help="service directory (omit with --server)")
+    results_parser.add_argument("job", nargs="?", default=None,
+                                help="job id (see `repro status`)")
+    _add_server_arguments(results_parser)
 
     stats_parser = commands.add_parser(
         "stats", help="summarize a --metrics-out JSON or --events-out JSONL file"

@@ -217,6 +217,53 @@ class ResultCacheServed(Event):
     program: str
 
 
+@dataclass(frozen=True)
+class HttpRequestServed(Event):
+    """The daemon's HTTP front-end answered one request
+    (``repro.net.http_api``)."""
+
+    kind: ClassVar[str] = "http_request_served"
+
+    method: str
+    path: str
+    status: int
+
+
+@dataclass(frozen=True)
+class LeaseRenewed(Event):
+    """A fleet daemon pushed its lease deadline forward while a job
+    ran (``repro.net.lease``)."""
+
+    kind: ClassVar[str] = "lease_renewed"
+
+    job: str
+    fence: int
+
+
+@dataclass(frozen=True)
+class LeaseTakeover(Event):
+    """A fleet daemon observed a peer's lease expire and requeued the
+    job; the next claim carries a higher fencing token."""
+
+    kind: ClassVar[str] = "lease_takeover"
+
+    job: str
+    fence: int
+    prior_owner: str
+
+
+@dataclass(frozen=True)
+class CacheSyncApplied(Event):
+    """A cache entry or witness trace was pulled from a peer daemon
+    (``repro.net.sync``); ``kind_of`` is ``result`` or ``trace``."""
+
+    kind: ClassVar[str] = "cache_sync_applied"
+
+    key: str
+    source: str
+    kind_of: str
+
+
 #: Registry of every event type, keyed by its wire tag.  Serialization
 #: and validation are driven from this table, so adding an event type
 #: here is the single step that extends the schema.
@@ -237,6 +284,10 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         CheckpointSaved,
         CheckpointResumed,
         ResultCacheServed,
+        HttpRequestServed,
+        LeaseRenewed,
+        LeaseTakeover,
+        CacheSyncApplied,
     )
 }
 

@@ -31,9 +31,13 @@ from .events import (
     BoundCompleted,
     BoundStarted,
     BugFound,
+    CacheSyncApplied,
     CheckpointResumed,
     CheckpointSaved,
     EventBus,
+    HttpRequestServed,
+    LeaseRenewed,
+    LeaseTakeover,
     ExecutionFinished,
     ExecutionStarted,
     RaceChecked,
@@ -309,6 +313,34 @@ class Instrumentation:
         self.metrics.add("result_cache_hits")
         if self.bus.active:
             self.bus.emit(ResultCacheServed(self.now(), key, program))
+
+    # -- fleet hooks (see repro.net) -----------------------------------------
+
+    def http_request(self, method: str, path: str, status: int) -> None:
+        """The HTTP front-end answered one request."""
+        self.metrics.add("http_requests")
+        if self.bus.active:
+            self.bus.emit(HttpRequestServed(self.now(), method, path, status))
+
+    def lease_claimed(self, job: str, fence: int) -> None:
+        self.metrics.add("lease_claims")
+
+    def lease_renewed(self, job: str, fence: int) -> None:
+        self.metrics.add("lease_renewals")
+        if self.bus.active:
+            self.bus.emit(LeaseRenewed(self.now(), job, fence))
+
+    def lease_takeover(self, job: str, fence: int, prior_owner: str) -> None:
+        """A peer's expired lease was broken; its job requeued."""
+        self.metrics.add("lease_takeovers")
+        if self.bus.active:
+            self.bus.emit(LeaseTakeover(self.now(), job, fence, prior_owner))
+
+    def cache_sync_hit(self, key: str, source: str, kind: str = "result") -> None:
+        """A cache entry or trace was pulled from a peer daemon."""
+        self.metrics.add("cache_sync_hits")
+        if self.bus.active:
+            self.bus.emit(CacheSyncApplied(self.now(), key, source, kind))
 
     # -- freezing ----------------------------------------------------------
 

@@ -332,6 +332,17 @@ class MetricsSnapshot:
             lines.append(
                 "service: " + ", ".join(f"{count} {name}" for name, count in service)
             )
+        fleet = [
+            ("http requests", self.counters.get("http_requests", 0)),
+            ("lease claims", self.counters.get("lease_claims", 0)),
+            ("lease renewals", self.counters.get("lease_renewals", 0)),
+            ("lease takeovers", self.counters.get("lease_takeovers", 0)),
+            ("cache sync hits", self.counters.get("cache_sync_hits", 0)),
+        ]
+        if any(count for _, count in fleet):
+            lines.append(
+                "fleet: " + ", ".join(f"{count} {name}" for name, count in fleet)
+            )
         if self.executions_by_bound or self.states_by_bound:
             lines.append("per-bound breakdown:")
             bounds = sorted(set(self.executions_by_bound) | set(self.states_by_bound))

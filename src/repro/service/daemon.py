@@ -132,19 +132,22 @@ class CheckingService:
 
     def _handle(self, job: Job) -> None:
         try:
-            result = self._run(job)
+            result = self.run_job(job)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             self.queue.fail(
                 job.id, str(exc), requeue=job.attempts < self.max_attempts
             )
             return
-        path = self._write_result(job, result)
+        path = self.write_result(job, result)
         cache_hit = bool(result.search.extras.get("cache_hit"))
         self.queue.complete(job.id, result_path=str(path), cache_hit=cache_hit)
         # The search is decided; its checkpoint has nothing to resume.
+        self.clear_checkpoint(job)
+
+    def clear_checkpoint(self, job: Job) -> None:
         Checkpointer(self.checkpoint_path(job), {}).clear()
 
-    def _run(self, job: Job) -> CheckResult:
+    def run_job(self, job: Job) -> CheckResult:
         program = resolve_spec(job.spec)
         limits = SearchLimits(
             max_executions=job.max_executions,
@@ -163,7 +166,7 @@ class CheckingService:
             cache=self.cache,
         )
 
-    def _write_result(self, job: Job, result: CheckResult) -> pathlib.Path:
+    def write_result(self, job: Job, result: CheckResult) -> pathlib.Path:
         search = result.search
         bugs: List[Dict[str, Any]] = [
             {

@@ -15,10 +15,28 @@ the daemon gives every job a durable checkpoint file
 Scheduling is by ``(-priority, submission order)``; submissions are
 deduplicated against *active* (queued or running) jobs with the same
 work description, so hammering ``repro submit`` is idempotent.
+
+**Fleet mode** (see :mod:`repro.net.lease`) adds lease events to the
+same journal: ``claimed``/``renewed``/``lease_expired`` carry a
+*fencing token* -- a per-job monotonic counter -- and the fold only
+honours the event whose fence matches the job's current lease.  Two
+daemons racing to claim the same job both append, but journal order
+arbitrates deterministically: the first ``claimed`` wins and the
+second is a no-op.  A ``completed``/``failed`` event carrying a stale
+fence (a daemon finishing work whose lease was taken over) is likewise
+ignored, so a job's effective completion happens exactly once.
+
+**Torn tails.**  A crash in the middle of an append can leave a
+partial final line with no terminating newline.  Such a record was
+never committed: the fold ignores it, and the next append (or
+:meth:`JobQueue.recover`) truncates the journal back to the last valid
+record.  A newline-*terminated* garbage line is real corruption and
+still raises :class:`JobQueueError`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -60,6 +78,12 @@ class Job:
     result_path: Optional[str] = None
     error: Optional[str] = None
     cache_hit: bool = False
+    #: Lease state (fleet mode only; see repro.net.lease).  ``fence``
+    #: is the per-job monotonic fencing token, never reset: each new
+    #: claim must carry exactly ``fence + 1``.
+    owner: Optional[str] = None
+    fence: int = 0
+    lease_expires: Optional[float] = None
 
     def work_key(self) -> Tuple[Any, ...]:
         """What makes two submissions "the same work" for dedup."""
@@ -72,6 +96,25 @@ class Job:
             self.max_transitions,
             self.state_caching,
         )
+
+    def identity(self) -> str:
+        """The content address of this job's work: the SHA-256 of its
+        sorted-JSON work description.  Two submissions with the same
+        identity are the same work, which is what makes resubmits over
+        the wire idempotent (see :mod:`repro.net`)."""
+        names = (
+            "spec",
+            "max_bound",
+            "workers",
+            "stop_on_first_bug",
+            "max_executions",
+            "max_transitions",
+            "state_caching",
+        )
+        payload = dict(zip(names, self.work_key()))
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
 
     def describe(self) -> str:
         extra = ""
@@ -97,6 +140,35 @@ _JOB_FIELDS = (
 )
 
 
+def _fence_of(event: Dict[str, Any]) -> int:
+    try:
+        return int(event.get("fence", 0))
+    except (TypeError, ValueError):
+        return -1
+
+
+def _expires_of(event: Dict[str, Any]) -> Optional[float]:
+    value = event.get("expires")
+    try:
+        return float(value) if value is not None else None
+    except (TypeError, ValueError):
+        return None
+
+
+def _fence_current(event: Dict[str, Any], job: Job) -> bool:
+    """Whether a lifecycle event speaks for the job's current lease.
+
+    Legacy events carry no fence and are always honoured (the
+    single-daemon topology has no contention to arbitrate).  A fenced
+    event is honoured only when its token matches: a daemon finishing
+    work whose lease was expired and re-claimed appends a stale fence,
+    which folds to a no-op -- the "exactly once" half of fencing.
+    """
+    if "fence" not in event:
+        return True
+    return _fence_of(event) == job.fence
+
+
 class JobQueue:
     """Fold-of-a-journal job queue (see module docstring).
 
@@ -115,36 +187,79 @@ class JobQueue:
 
     def _append(self, event: Dict[str, Any]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
+        self.repair()
         line = json.dumps(event, sort_keys=True)
         with open(self.journal, "a", encoding="utf-8") as fh:
             fh.write(line + "\n")
             fh.flush()
             os.fsync(fh.fileno())
 
-    def _events(self) -> List[Dict[str, Any]]:
-        if not self.journal.exists():
-            return []
-        events: List[Dict[str, Any]] = []
+    @staticmethod
+    def _parse_line(line: str) -> Optional[Dict[str, Any]]:
+        """One journal record, or ``None`` if the line is not one."""
         try:
-            text = self.journal.read_text()
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(event, dict) or "event" not in event:
+            return None
+        return event
+
+    def _read(self) -> Tuple[List[Dict[str, Any]], int]:
+        """Parse the journal; returns ``(events, valid_length)``.
+
+        ``valid_length`` is the byte offset just past the last
+        committed record.  A record is committed iff its line is
+        newline-terminated: appends write line+newline in one call, so
+        only a crash mid-append leaves an *unterminated* tail, and
+        such a tail -- whatever its bytes -- was never acknowledged
+        and is ignored (then truncated by :meth:`repair`).  A
+        newline-terminated line that fails to parse is real corruption
+        and raises.
+        """
+        try:
+            raw = self.journal.read_bytes()
+        except FileNotFoundError:
+            return [], 0
         except OSError as exc:
             raise JobQueueError(f"cannot read journal {self.journal}: {exc}") from exc
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise JobQueueError(
-                    f"{self.journal}:{lineno}: not valid JSON ({exc})"
-                ) from exc
-            if not isinstance(event, dict) or "event" not in event:
-                raise JobQueueError(
-                    f"{self.journal}:{lineno}: journal entries need an 'event' key"
-                )
-            events.append(event)
-        return events
+        events: List[Dict[str, Any]] = []
+        offset = 0
+        lineno = 0
+        while offset < len(raw):
+            lineno += 1
+            end = raw.find(b"\n", offset)
+            if end == -1:
+                # Torn tail: a crashed append never committed this
+                # record.  valid_length excludes it.
+                return events, offset
+            line = raw[offset:end].decode("utf-8", errors="replace").strip()
+            if line:
+                event = self._parse_line(line)
+                if event is None:
+                    raise JobQueueError(
+                        f"{self.journal}:{lineno}: not a valid journal record"
+                    )
+                events.append(event)
+            offset = end + 1
+        return events, offset
+
+    def _events(self) -> List[Dict[str, Any]]:
+        return self._read()[0]
+
+    def repair(self) -> bool:
+        """Truncate a torn final record (see :meth:`_read`); returns
+        whether anything was cut."""
+        if not self.journal.exists():
+            return False
+        _, valid = self._read()
+        if valid >= self.journal.stat().st_size:
+            return False
+        with open(self.journal, "r+b") as fh:
+            fh.truncate(valid)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return True
 
     def _fold(self) -> Dict[str, Job]:
         """Replay the journal into the current job table."""
@@ -173,16 +288,52 @@ class JobQueue:
             if kind == "started":
                 job.status = RUNNING
                 job.attempts += 1
+            elif kind == "claimed":
+                # A lease claim is honoured only on a queued job and
+                # only with the next fencing token; the loser of a
+                # two-daemon race appends a claim that fails one of
+                # the two tests and folds to a no-op.
+                if job.status == QUEUED and _fence_of(event) == job.fence + 1:
+                    job.status = RUNNING
+                    job.attempts += 1
+                    job.owner = str(event.get("daemon", ""))
+                    job.fence += 1
+                    job.lease_expires = _expires_of(event)
+            elif kind == "renewed":
+                if (
+                    job.status == RUNNING
+                    and _fence_of(event) == job.fence
+                    and str(event.get("daemon", "")) == job.owner
+                ):
+                    job.lease_expires = _expires_of(event)
+            elif kind == "lease_expired":
+                # A takeover: some daemon observed the lease deadline
+                # pass and requeued the job.  The fence check means an
+                # expiry raced against a newer claim cannot clobber it.
+                if job.status == RUNNING and _fence_of(event) == job.fence:
+                    job.status = QUEUED
+                    job.owner = None
+                    job.lease_expires = None
+                    job.error = event.get("error", job.error)
             elif kind == "completed":
-                job.status = DONE
-                job.result_path = event.get("result_path")
-                job.cache_hit = bool(event.get("cache_hit"))
+                if _fence_current(event, job):
+                    job.status = DONE
+                    job.result_path = event.get("result_path")
+                    job.cache_hit = bool(event.get("cache_hit"))
+                    job.owner = None
+                    job.lease_expires = None
             elif kind == "failed":
-                job.status = FAILED
-                job.error = event.get("error")
+                if _fence_current(event, job):
+                    job.status = FAILED
+                    job.error = event.get("error")
+                    job.owner = None
+                    job.lease_expires = None
             elif kind == "requeued":
-                job.status = QUEUED
-                job.error = event.get("error", job.error)
+                if _fence_current(event, job):
+                    job.status = QUEUED
+                    job.error = event.get("error", job.error)
+                    job.owner = None
+                    job.lease_expires = None
         return jobs
 
     # -- public API ----------------------------------------------------------
@@ -225,9 +376,18 @@ class JobQueue:
         candidate.id = f"job-{seq:06d}"
         candidate.seq = seq
         payload = asdict(candidate)
-        # Lifecycle fields are derived from later events, not recorded
-        # at submission.
-        for name in ("status", "attempts", "result_path", "error", "cache_hit"):
+        # Lifecycle and lease fields are derived from later events,
+        # not recorded at submission.
+        for name in (
+            "status",
+            "attempts",
+            "result_path",
+            "error",
+            "cache_hit",
+            "owner",
+            "fence",
+            "lease_expires",
+        ):
             payload.pop(name, None)
         self._append({"event": "submitted", "job": payload})
         return candidate
@@ -244,22 +404,81 @@ class JobQueue:
         return job
 
     def complete(
-        self, job_id: str, result_path: Optional[str] = None, cache_hit: bool = False
+        self,
+        job_id: str,
+        result_path: Optional[str] = None,
+        cache_hit: bool = False,
+        daemon: Optional[str] = None,
+        fence: Optional[int] = None,
+    ) -> None:
+        event: Dict[str, Any] = {
+            "event": "completed",
+            "id": job_id,
+            "result_path": result_path,
+            "cache_hit": cache_hit,
+        }
+        if fence is not None:
+            event["fence"] = fence
+            event["daemon"] = daemon
+        self._append(event)
+
+    def fail(
+        self,
+        job_id: str,
+        error: str,
+        requeue: bool = False,
+        daemon: Optional[str] = None,
+        fence: Optional[int] = None,
+    ) -> None:
+        event: Dict[str, Any] = {
+            "event": "requeued" if requeue else "failed",
+            "id": job_id,
+            "error": error,
+        }
+        if fence is not None:
+            event["fence"] = fence
+            event["daemon"] = daemon
+        self._append(event)
+
+    # -- lease events (fleet mode; see repro.net.lease) ----------------------
+
+    def append_claim(
+        self, job_id: str, daemon: str, fence: int, expires: float
     ) -> None:
         self._append(
             {
-                "event": "completed",
+                "event": "claimed",
                 "id": job_id,
-                "result_path": result_path,
-                "cache_hit": cache_hit,
+                "daemon": daemon,
+                "fence": fence,
+                "expires": expires,
             }
         )
 
-    def fail(self, job_id: str, error: str, requeue: bool = False) -> None:
+    def append_renewal(
+        self, job_id: str, daemon: str, fence: int, expires: float
+    ) -> None:
         self._append(
             {
-                "event": "requeued" if requeue else "failed",
+                "event": "renewed",
                 "id": job_id,
+                "daemon": daemon,
+                "fence": fence,
+                "expires": expires,
+            }
+        )
+
+    def append_expiry(
+        self, job_id: str, fence: int, daemon: str, error: str
+    ) -> None:
+        """Journal a lease takeover: ``daemon`` observed the lease
+        deadline pass and is returning the job to the queue."""
+        self._append(
+            {
+                "event": "lease_expired",
+                "id": job_id,
+                "fence": fence,
+                "daemon": daemon,
                 "error": error,
             }
         )
@@ -272,6 +491,7 @@ class JobQueue:
         running is an orphan of a crash.  The requeued jobs resume
         from their durable checkpoints rather than starting over.
         """
+        self.repair()
         recovered: List[Job] = []
         for job in self.jobs():
             if job.status == RUNNING:

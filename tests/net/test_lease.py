@@ -1,0 +1,181 @@
+"""Lease-fenced claims: journal order arbitrates races, fencing
+tokens make completion exactly-once, expiry hands dead daemons' work
+over without losing or duplicating it."""
+
+from __future__ import annotations
+
+import time
+
+from repro.net.lease import Lease, LeaseManager, LeaseRenewer
+from repro.service.jobs import JobQueue
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def manager(queue, daemon, clock, ttl=10.0):
+    return LeaseManager(queue, daemon, ttl=ttl, clock=clock)
+
+
+def test_claim_takes_the_best_job_under_a_fenced_lease(tmp_path):
+    queue = JobQueue(tmp_path)
+    clock = FakeClock()
+    low = queue.submit("toy:racy-counter")
+    high = queue.submit("bluetooth", priority=5)
+    job, lease = manager(queue, "alpha", clock).claim()
+    assert job.id == high.id
+    assert job.status == "running"
+    assert job.owner == "alpha"
+    assert job.fence == 1 and lease.fence == 1
+    assert job.lease_expires == clock.now + 10.0
+    # The other job is untouched and claimable by a peer.
+    other, _ = manager(queue, "beta", clock).claim()
+    assert other.id == low.id and other.owner == "beta"
+
+
+def test_claim_race_is_arbitrated_by_journal_order(tmp_path):
+    queue = JobQueue(tmp_path)
+    job = queue.submit("bluetooth")
+    # Both daemons computed fence 1 and appended; the journal decides.
+    queue.append_claim(job.id, "alpha", 1, 2000.0)
+    queue.append_claim(job.id, "beta", 1, 2000.0)
+    record = queue.get(job.id)
+    assert record.owner == "alpha"
+    assert record.fence == 1
+    assert record.attempts == 1  # the losing claim folded to a no-op
+    # The loser's LeaseManager notices by re-folding.
+    assert not manager(queue, "beta", FakeClock()).owns(
+        Lease(job.id, "beta", 1, 2000.0)
+    )
+
+
+def test_expired_lease_is_taken_over_with_a_higher_fence(tmp_path):
+    queue = JobQueue(tmp_path)
+    clock = FakeClock()
+    job = queue.submit("bluetooth")
+    alpha = manager(queue, "alpha", clock, ttl=5.0)
+    beta = manager(queue, "beta", clock, ttl=5.0)
+    _, alpha_lease = alpha.claim()
+    # While alpha is alive nothing expires.
+    assert beta.expire_stale() == []
+    clock.advance(6.0)
+    expired = beta.expire_stale()
+    assert [j.id for j in expired] == [job.id]
+    assert queue.get(job.id).status == "queued"
+    record, beta_lease = beta.claim()
+    assert record.owner == "beta" and record.fence == 2
+    # The resurrected alpha finishes its stale run: the fenced
+    # completion folds to a no-op and beta still owns the job.
+    assert alpha.complete(alpha_lease, result_path="stale.json") is False
+    after = queue.get(job.id)
+    assert after.status == "running" and after.owner == "beta"
+    # Beta's current-fence completion is the one that lands.
+    assert beta.complete(beta_lease, result_path="good.json") is True
+    final = queue.get(job.id)
+    assert final.status == "done"
+    assert final.result_path == "good.json"
+
+
+def test_renew_pushes_the_deadline_and_fails_after_takeover(tmp_path):
+    queue = JobQueue(tmp_path)
+    clock = FakeClock()
+    queue.submit("bluetooth")
+    alpha = manager(queue, "alpha", clock, ttl=5.0)
+    beta = manager(queue, "beta", clock, ttl=5.0)
+    job, lease = alpha.claim()
+    clock.advance(4.0)
+    assert alpha.renew(lease) is True
+    assert queue.get(job.id).lease_expires == clock.now + 5.0
+    # A renewal outruns expiry: 4s later the original deadline has
+    # passed but the renewed one has not.
+    clock.advance(4.0)
+    assert beta.expire_stale() == []
+    # Past the renewed deadline the job is taken over, after which
+    # alpha's renewals fail and it knows to stand down.
+    clock.advance(2.0)
+    assert [j.id for j in beta.expire_stale()] == [job.id]
+    beta.claim()
+    assert alpha.renew(lease) is False
+    assert alpha.owns(lease) is False
+
+
+def test_fenced_failure_respects_takeover(tmp_path):
+    queue = JobQueue(tmp_path)
+    clock = FakeClock()
+    job = queue.submit("bluetooth")
+    alpha = manager(queue, "alpha", clock, ttl=5.0)
+    beta = manager(queue, "beta", clock, ttl=5.0)
+    _, alpha_lease = alpha.claim()
+    clock.advance(6.0)
+    beta.expire_stale()
+    _, beta_lease = beta.claim()
+    # Alpha's stale fenced failure cannot clobber beta's run...
+    alpha.fail(alpha_lease, "stale crash", requeue=False)
+    assert queue.get(job.id).status == "running"
+    # ...but beta's own failure verdict lands.
+    beta.fail(beta_lease, "real crash", requeue=False)
+    assert queue.get(job.id).status == "failed"
+    assert queue.get(job.id).error == "real crash"
+
+
+def test_legacy_unleased_jobs_are_never_expired(tmp_path):
+    queue = JobQueue(tmp_path)
+    clock = FakeClock()
+    job = queue.submit("bluetooth")
+    queue.claim()  # a plain single-daemon "started", no lease
+    clock.advance(1e6)
+    assert manager(queue, "beta", clock).expire_stale() == []
+    assert queue.get(job.id).status == "running"
+
+
+def test_expiry_event_with_stale_fence_cannot_clobber_a_new_claim(tmp_path):
+    queue = JobQueue(tmp_path)
+    clock = FakeClock()
+    job = queue.submit("bluetooth")
+    alpha = manager(queue, "alpha", clock, ttl=5.0)
+    alpha.claim()
+    clock.advance(6.0)
+    beta = manager(queue, "beta", clock, ttl=5.0)
+    beta.expire_stale()
+    beta.claim()
+    # A slow third daemon appends the expiry it observed long ago,
+    # carrying the old fence: the fold must ignore it.
+    queue.append_expiry(job.id, 1, "gamma", error="lease of alpha expired")
+    record = queue.get(job.id)
+    assert record.status == "running"
+    assert record.owner == "beta" and record.fence == 2
+
+
+def test_lease_renewer_keeps_a_real_time_lease_alive(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit("bluetooth")
+    alpha = LeaseManager(queue, "alpha", ttl=0.3)
+    beta = LeaseManager(queue, "beta", ttl=0.3)
+    job, lease = alpha.claim()
+    with LeaseRenewer(alpha, lease) as renewer:
+        time.sleep(0.8)  # several ttls; unrenewed it would lapse
+        assert beta.expire_stale() == []
+        assert alpha.owns(lease)
+    assert renewer.lost is False
+
+
+def test_lease_renewer_flags_a_lost_lease(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit("bluetooth")
+    alpha = LeaseManager(queue, "alpha", ttl=0.3)
+    job, lease = alpha.claim()
+    with LeaseRenewer(alpha, lease) as renewer:
+        # A peer breaks the lease under us (as after a long stall).
+        queue.append_expiry(job.id, lease.fence, "beta", error="expired")
+        deadline = time.monotonic() + 5.0
+        while not renewer.lost and time.monotonic() < deadline:
+            time.sleep(0.02)
+    assert renewer.lost is True

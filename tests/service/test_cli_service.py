@@ -78,6 +78,21 @@ def test_submit_serve_status_results_loop(tmp_path):
     assert json.loads(_run("results", root, second).stdout)["cache_hit"] is True
 
 
+def test_unknown_job_id_is_a_clear_error_with_nonzero_exit(tmp_path):
+    root = str(tmp_path / "svc")
+    job_id = _run("submit", root, "toy:stats-race", "--bound", "1").stdout.strip()
+    proc = _run("status", root, "job-000099", check=False)
+    assert proc.returncode == 1
+    assert "error: unknown job id 'job-000099'" in proc.stderr
+    proc = _run("results", root, "job-000099", check=False)
+    assert proc.returncode == 1
+    assert "error: unknown job id 'job-000099'" in proc.stderr
+    # A known id whose job has not finished is a different clear error.
+    proc = _run("results", root, job_id, check=False)
+    assert proc.returncode == 1
+    assert f"error: job {job_id} is queued; no result yet" in proc.stderr
+
+
 @pytest.mark.parametrize("spec", KILL_SPECS)
 def test_sigkilled_parallel_check_resumes_to_serial_parity(spec, tmp_path):
     base = baseline(spec)

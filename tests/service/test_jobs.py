@@ -105,3 +105,59 @@ def test_work_key_excludes_priority():
     b = Job(id="b", spec="x", priority=7, max_bound=1)
     assert a.work_key() == b.work_key()
     assert a.work_key() != Job(id="c", spec="x", max_bound=2).work_key()
+
+
+def test_torn_final_line_is_ignored_and_truncated(tmp_path):
+    queue = JobQueue(tmp_path)
+    first = queue.submit("bluetooth")
+    second = queue.submit("toy:racy-counter")
+    journal = tmp_path / JOURNAL_NAME
+    intact = journal.read_bytes()
+    # A crash mid-append leaves arbitrary unterminated bytes.  The
+    # record was never committed: the fold ignores it...
+    with open(journal, "ab") as fh:
+        fh.write(b'{"event": "completed", "id": "job-0')
+    fresh = JobQueue(tmp_path)
+    assert [job.id for job in fresh.jobs()] == [first.id, second.id]
+    assert fresh.get(first.id).status == "queued"
+    # ...and repair() truncates the journal back to the last record.
+    assert fresh.repair() is True
+    assert journal.read_bytes() == intact
+    assert fresh.repair() is False
+
+
+def test_torn_tail_that_parses_is_still_uncommitted(tmp_path):
+    # Even a tail that happens to be valid JSON is ignored without its
+    # terminating newline: the append never completed, and honouring
+    # it would let the next append corrupt the journal by concatenation.
+    queue = JobQueue(tmp_path)
+    job = queue.submit("bluetooth")
+    journal = tmp_path / JOURNAL_NAME
+    with open(journal, "ab") as fh:
+        fh.write(json.dumps({"event": "completed", "id": job.id}).encode())
+    assert JobQueue(tmp_path).get(job.id).status == "queued"
+
+
+def test_append_after_torn_tail_repairs_first(tmp_path):
+    queue = JobQueue(tmp_path)
+    job = queue.submit("bluetooth")
+    journal = tmp_path / JOURNAL_NAME
+    with open(journal, "ab") as fh:
+        fh.write(b"garbage without a newline")
+    # The next mutation truncates the tail before appending, so the
+    # journal stays parseable end to end.
+    queue.complete(job.id, result_path="r.json")
+    lines = journal.read_text().splitlines()
+    assert all(json.loads(line)["event"] for line in lines)
+    assert JobQueue(tmp_path).get(job.id).status == "done"
+
+
+def test_recover_repairs_a_torn_tail(tmp_path):
+    queue = JobQueue(tmp_path)
+    queue.submit("bluetooth")
+    journal = tmp_path / JOURNAL_NAME
+    with open(journal, "ab") as fh:
+        fh.write(b'{"torn":')
+    recovered = JobQueue(tmp_path).recover()
+    assert recovered == []
+    assert journal.read_bytes().endswith(b"\n")
