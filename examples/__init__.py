@@ -1,0 +1,6 @@
+"""Runnable example scripts and checkable example program families.
+
+Plain scripts (``quickstart.py`` etc.) are run directly; the
+``invivo`` subpackage holds importable ``module:factory`` programs for
+``repro check --module``.
+"""

@@ -1,0 +1,15 @@
+"""In-vivo example programs: real ``threading``-style code with seeded bugs.
+
+Each module exposes ``make_program()`` (the seeded-bug variant, for
+``repro check --module examples.invivo.<name>:make_program``) and
+``make_fixed()`` (the corrected variant, which the checker certifies),
+plus an ``EXPECTED`` dict pinning the seeded bug's kind and minimal
+preemption bound — asserted by ``tests/invivo`` and the CI job.
+"""
+
+#: module:factory specs of every seeded-bug example, for CI and tests.
+ALL_SPECS = (
+    "examples.invivo.bounded_queue:make_program",
+    "examples.invivo.lazy_singleton:make_program",
+    "examples.invivo.barrier_misuse:make_program",
+)

@@ -1,0 +1,66 @@
+"""A hand-rolled reusable barrier that strands late waiters.
+
+Three workers rendezvous on a counter plus a manual-reset event; the
+last arriver signals, and whichever worker gets through first "resets
+the barrier for reuse" by clearing the event::
+
+    if arrived.add(1) == PARTIES:
+        release.set()
+    else:
+        release.wait()
+    if reset_claim.cas(0, 1):
+        release.clear()            # BUG: other waiters may still be parked
+
+Clearing a manual-reset event while other threads are still parked on
+it strands them forever -- the signal is a *level*, not a latch.  No
+preemption is even needed: in the natural run-to-blocking schedule the
+last arriver signals, sails on, wins the reset race and clears before
+either parked worker has run, deadlocking both (found at bound 0 --
+the paper's nonpreemptive baseline already catches it).
+
+Written against the ``repro.invivo`` adapter API: :class:`~repro.invivo.Event`
+for the gate, :class:`~repro.invivo.Atomic` for the interlocked counter
+and the reset claim.
+"""
+
+from repro import invivo
+from repro.invivo import InvivoProgram
+
+#: The seeded bug and the minimal preemption bound that exposes it.
+EXPECTED = {"kind": "deadlock", "bound": 0}
+
+PARTIES = 3
+
+
+def _build(premature_reset: bool) -> InvivoProgram:
+    def setup():
+        arrived = invivo.Atomic(0, name="barrier.arrived")
+        release = invivo.Event("barrier.release")
+        reset_claim = invivo.Atomic(0, name="barrier.reset_claim")
+
+        def worker():
+            if arrived.add(1) == PARTIES:
+                release.set()
+            else:
+                release.wait()
+            if premature_reset:
+                # BUG: the first thread through resets "for reuse"
+                # while others may still be parked on the event.
+                if reset_claim.cas(0, 1):
+                    release.clear()
+
+        return {f"worker-{i}": worker for i in range(1, PARTIES + 1)}
+
+    name = "invivo-barrier-misuse" + ("" if premature_reset else "-fixed")
+    expected = ("premature event reset strands waiters",) if premature_reset else ()
+    return InvivoProgram(name, setup, expected_bugs=expected)
+
+
+def make_program() -> InvivoProgram:
+    """The seeded-bug variant (premature reset)."""
+    return _build(premature_reset=True)
+
+
+def make_fixed() -> InvivoProgram:
+    """The corrected variant (one-shot barrier, no reset)."""
+    return _build(premature_reset=False)

@@ -1,0 +1,70 @@
+"""A bounded queue with the classic lost-wakeup condition-variable bug.
+
+The consumer guards its wait with ``if`` instead of ``while``::
+
+    with lock:
+        if not items:          # BUG: must be `while not items`
+            not_empty.wait()
+        item = items[0]        # may index an empty queue
+
+With one producer and two consumers, a woken consumer can lose its
+item to the *other* consumer, which slipped in between the producer's
+two puts and consumed without ever waiting (Mesa semantics: a notify
+is a hint, not a handoff).  The woken consumer then pops an empty
+queue.  One preemption suffices: preempt the producer between its two
+puts.  The paper's argument that small preemption bounds expose real
+bugs (Section 5) is exactly this shape.
+
+The code is ordinary imperative Python using the ``repro.invivo``
+adapter API directly; shared data lives in :class:`repro.invivo.Shared`
+so the checker can see it.
+"""
+
+from repro import invivo
+from repro.invivo import InvivoProgram
+
+#: The seeded bug and the minimal preemption bound that exposes it,
+#: pinned by tests/invivo and the CI job.
+EXPECTED = {"kind": "uncaught-exception", "bound": 1}
+
+
+def _build(while_loop: bool):
+    def setup():
+        lock = invivo.Lock("queue.lock")
+        not_empty = invivo.Condition(lock, name="queue.not_empty")
+        items = invivo.Shared((), name="queue.items")
+
+        def producer():
+            for value in ("a", "b"):
+                with lock:
+                    items.set(items.get() + (value,))
+                    not_empty.notify()
+
+        def consumer():
+            with lock:
+                if while_loop:
+                    while not items.get():
+                        not_empty.wait()
+                else:
+                    if not items.get():  # BUG: a woken waiter must re-check
+                        not_empty.wait()
+                queue = items.get()
+                item = queue[0]  # IndexError when the wakeup was lost
+                items.set(queue[1:])
+                return item
+
+        return {"producer": producer, "consumer-1": consumer, "consumer-2": consumer}
+
+    name = "invivo-bounded-queue" + ("-fixed" if while_loop else "")
+    expected = () if while_loop else ("lost wakeup: if-guarded condition wait",)
+    return InvivoProgram(name, setup, expected_bugs=expected)
+
+
+def make_program() -> InvivoProgram:
+    """The seeded-bug variant (``if``-guarded wait)."""
+    return _build(while_loop=False)
+
+
+def make_fixed() -> InvivoProgram:
+    """The corrected variant (``while``-guarded wait); certifiable."""
+    return _build(while_loop=True)

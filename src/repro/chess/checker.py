@@ -280,6 +280,7 @@ class ChessChecker:
                 self.save_traces(check_result.bugs, trace_dir, spec=trace_spec)
             if cache is not None and cache_key is not None:
                 cache.store(cache_key, check_result)
+            self._report_invivo(obs)
             return check_result
         if strategy is None:
             resolved = self._resolve_analysis(analysis, obs)
@@ -312,7 +313,25 @@ class ChessChecker:
             self.save_traces(check_result.bugs, trace_dir, spec=trace_spec)
         if cache is not None and cache_key is not None:
             cache.store(cache_key, check_result)
+        self._report_invivo(obs)
         return check_result
+
+    def _report_invivo(self, obs: Optional["Instrumentation"]) -> None:
+        """Surface an in-vivo program's runner statistics through obs.
+
+        Duck-typed on ``invivo_stats`` so the checker needs no import
+        of (or dependency on) :mod:`repro.invivo`; DSL programs skip
+        this entirely.
+        """
+        stats = getattr(self.program, "invivo_stats", None)
+        if obs is None or stats is None:
+            return
+        obs.invivo_run(
+            self.program.name,
+            stats["threads"],
+            stats["handshakes"],
+            stats["abandoned"],
+        )
 
     def _checkpointer(
         self,

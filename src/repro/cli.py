@@ -7,7 +7,13 @@ Checks a built-in benchmark program (or any program importable as
     python -m repro check bluetooth --bound 2
     python -m repro check wsq:pop-race --stop-on-first-bug
     python -m repro check mypkg.mymod:make_program --strategy dfs
+    python -m repro check --module examples.invivo.bounded_queue:make_program
     python -m repro explain wsq:pop-race
+
+A misspelled built-in name exits 1 with close-match suggestions;
+``--module`` imports a ``module:factory`` entry point explicitly (the
+usual way to check :mod:`repro.invivo` programs -- real ``threading``
+code; see ``docs/invivo.md``).
 
 The static-analysis subsystem (see ``docs/analysis.md``) is exposed
 three ways: ``analyze`` prints a program's access summaries, lock
@@ -61,22 +67,41 @@ def _builtin_programs() -> Dict[str, Callable[[], Program]]:
     return builtin_registry()
 
 
+def _import_factory(spec: str) -> Program:
+    """Build a program from a ``module:factory`` spec, with CLI errors."""
+    module_name, _, factory_name = spec.partition(":")
+    if not module_name or not factory_name:
+        raise SystemExit(f"expected module:factory, got {spec!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SystemExit(f"cannot import module {module_name!r}: {exc}")
+    try:
+        factory = getattr(module, factory_name)
+    except AttributeError:
+        raise SystemExit(f"module {module_name!r} has no attribute {factory_name!r}")
+    program = factory()
+    if not isinstance(program, Program):
+        raise SystemExit(f"{spec} did not produce a repro Program")
+    return program
+
+
 def _resolve_program(spec: str) -> Program:
     registry = _builtin_programs()
     if spec in registry:
         return registry[spec]()
     if ":" in spec and "." in spec.split(":", 1)[0]:
-        module_name, factory_name = spec.split(":", 1)
-        module = importlib.import_module(module_name)
-        factory = getattr(module, factory_name)
-        program = factory()
-        if not isinstance(program, Program):
-            raise SystemExit(f"{spec} did not produce a repro Program")
-        return program
-    raise SystemExit(
+        return _import_factory(spec)
+    import difflib
+
+    message = (
         f"unknown program {spec!r}; run `python -m repro list` for the "
         "built-ins, or pass `package.module:factory`"
     )
+    close = difflib.get_close_matches(spec, sorted(registry), n=3, cutoff=0.5)
+    if close:
+        message += "\ndid you mean: " + ", ".join(close)
+    raise SystemExit(message)
 
 
 def _make_strategy(args: argparse.Namespace) -> Optional[Strategy]:
@@ -103,8 +128,39 @@ def _make_config(args: argparse.Namespace) -> ExecutionConfig:
     )
 
 
+def _check_spec(args: argparse.Namespace) -> str:
+    """The program spec a check/explain/save invocation targets.
+
+    Exactly one of the PROGRAM positional and ``--module`` must be
+    given; the returned spec doubles as the trace spec recorded in
+    saved witnesses, so replays can rebuild the program.
+    """
+    if args.program is not None and args.module is not None:
+        raise SystemExit("pass a PROGRAM or --module, not both")
+    if args.program is not None:
+        return args.program
+    if args.module is not None:
+        if ":" not in args.module:
+            raise SystemExit(
+                f"--module expects module:factory, got {args.module!r}"
+            )
+        return args.module
+    raise SystemExit("pass a PROGRAM (see `python -m repro list`) or --module")
+
+
+def _resolve_check_program(args: argparse.Namespace, spec: str) -> Program:
+    if args.module is not None:
+        return _import_factory(spec)
+    return _resolve_program(spec)
+
+
 def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("program", help="built-in name or module:factory")
+    parser.add_argument("program", nargs="?", default=None,
+                        help="built-in name or module:factory")
+    parser.add_argument("--module", default=None, metavar="MODULE:FACTORY",
+                        help="check the Program returned by this factory "
+                        "(e.g. examples.invivo.bounded_queue:make_program; "
+                        "the usual entry point for repro.invivo programs)")
     parser.add_argument("--bound", "--max-bound", dest="bound", type=int, default=None,
                         help="stop ICB after this preemption bound")
     parser.add_argument("--workers", type=int, default=None,
@@ -315,7 +371,14 @@ def _resolve_trace_target(args: argparse.Namespace, trace) -> Program:
 def _cmd_trace_save(args: argparse.Namespace) -> int:
     from .trace.format import TraceRecord
 
-    program = _resolve_program(args.program)
+    if args.out is None and args.module is not None and args.program is not None:
+        # With --module the single positional is OUT, but argparse
+        # bound it to the optional PROGRAM slot.
+        args.program, args.out = None, args.program
+    if args.out is None:
+        raise SystemExit("trace save needs an OUT path for the witness")
+    spec = _check_spec(args)
+    program = _resolve_check_program(args, spec)
     checker = ChessChecker(program, _make_config(args))
     limits = SearchLimits(
         max_executions=args.executions, max_seconds=args.seconds,
@@ -330,7 +393,7 @@ def _cmd_trace_save(args: argparse.Namespace) -> int:
     if bug is None:
         print("no bug found; nothing to save")
         return 1
-    trace = TraceRecord.from_bug(program, checker.config, bug, spec=args.program)
+    trace = TraceRecord.from_bug(program, checker.config, bug, spec=spec)
     path = trace.save(args.out)
     print(f"saved {path}")
     print(trace.summary())
@@ -649,7 +712,11 @@ def main(argv: Optional[list] = None) -> int:
         "save", help="find the minimal bug and save its witness trace"
     )
     _add_check_arguments(save_parser)
-    save_parser.add_argument("out", help="output file (or directory) for the trace")
+    # nargs="?" (reconciled in _cmd_trace_save) because argparse cannot
+    # match an optional PROGRAM followed by a required OUT when option
+    # flags separate them.
+    save_parser.add_argument("out", nargs="?", default=None,
+                             help="output file (or directory) for the trace")
 
     replay_parser = trace_commands.add_parser(
         "replay", help="replay a saved trace and classify the outcome"
@@ -791,7 +858,22 @@ def main(argv: Optional[list] = None) -> int:
                              help="write the current findings as the new "
                              "baseline and exit 0")
 
-    args = parser.parse_args(argv)
+    args, extras = parser.parse_known_args(argv)
+    if extras:
+        # `trace save PROGRAM --flag X OUT`: both optional positionals
+        # were consumed at the first positional chunk, leaving OUT
+        # unrecognized -- argparse cannot fill a later chunk once every
+        # optional positional is spent.  Reclaim it.
+        if (
+            args.command == "trace"
+            and getattr(args, "trace_command", None) == "save"
+            and getattr(args, "out", None) is None
+            and len(extras) == 1
+            and not extras[0].startswith("-")
+        ):
+            args.out = extras[0]
+        else:
+            parser.error("unrecognized arguments: " + " ".join(extras))
 
     if args.command == "list":
         if args.json:
@@ -830,7 +912,8 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "lint":
         return _cmd_lint(args)
 
-    program = _resolve_program(args.program)
+    spec = _check_spec(args)
+    program = _resolve_check_program(args, spec)
     checker = ChessChecker(program, _make_config(args))
     limits = SearchLimits(
         max_executions=args.executions,
@@ -857,7 +940,7 @@ def main(argv: Optional[list] = None) -> int:
         bug = checker.find_bug(
             max_bound=args.bound, limits=limits, workers=args.workers,
             parallel_settings=parallel_settings,
-            trace_dir=args.trace_dir, trace_spec=args.program, obs=obs,
+            trace_dir=args.trace_dir, trace_spec=spec, obs=obs,
             analysis=args.analysis,
             checkpoint=args.checkpoint,
             checkpoint_stride=args.checkpoint_stride,
@@ -869,7 +952,7 @@ def main(argv: Optional[list] = None) -> int:
             return 0
         # Replay through the trace subsystem from the (possibly merged,
         # cross-process) result's witness -- never by re-searching.
-        trace = TraceRecord.from_bug(program, checker.config, bug, spec=args.program)
+        trace = TraceRecord.from_bug(program, checker.config, bug, spec=spec)
         print(replay_trace(trace, program, config=checker.config).explain())
         return 1
 
@@ -880,7 +963,7 @@ def main(argv: Optional[list] = None) -> int:
         workers=args.workers,
         parallel_settings=parallel_settings,
         trace_dir=args.trace_dir,
-        trace_spec=args.program,
+        trace_spec=spec,
         obs=obs,
         analysis=args.analysis,
         checkpoint=args.checkpoint,

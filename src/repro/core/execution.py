@@ -532,7 +532,7 @@ class Execution:
                     f"{getattr(mutex, 'name', mutex)!r}",
                 )
             mutex.holder = None
-            cv.waiters.append((thread, mutex))
+            cv.waiters.append((tid, mutex))
             self._sync_hb(thread, effect, [cv, mutex])
             # Park: the sentinel WAIT is never enabled; a notify
             # rewrites it to an ACQUIRE of the mutex.
@@ -544,8 +544,8 @@ class Execution:
             assert isinstance(cv, CondVar)
             count = 1 if kind is EffectKind.CV_NOTIFY else len(cv.waiters)
             for _ in range(min(count, len(cv.waiters))):
-                waiter, mutex = cv.waiters.pop(0)
-                waiter.pending = Effect(EffectKind.ACQUIRE, mutex)
+                waiter_tid, mutex = cv.waiters.pop(0)
+                self.threads[waiter_tid].pending = Effect(EffectKind.ACQUIRE, mutex)
             self._sync_hb(thread, effect, [cv])
             return None, True
 

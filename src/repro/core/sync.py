@@ -25,7 +25,7 @@ from .variables import AtomicVar
 
 if TYPE_CHECKING:  # pragma: no cover
     from .heap import HeapRef
-    from .thread import ThreadState
+    from .thread import ThreadId, ThreadState
     from .world import World
 
 
@@ -65,6 +65,11 @@ class Mutex(SharedObject):
         """Release the mutex; a bug if the caller does not hold it."""
         return Effect(EffectKind.RELEASE, self)
 
+    def poll(self) -> Effect:
+        """Observe whether the mutex is held; the yield result is a
+        bool.  A synchronization access (never blocks)."""
+        return Effect(EffectKind.ATOMIC_READ, self)
+
     # -- semantics ----------------------------------------------------
 
     def is_enabled(self, effect: Effect, thread: "ThreadState") -> bool:
@@ -77,6 +82,8 @@ class Mutex(SharedObject):
         if kind is EffectKind.ACQUIRE:
             self.holder = thread.tid
             return None
+        if kind is EffectKind.ATOMIC_READ:
+            return self.holder is not None
         if kind is EffectKind.TRY_ACQUIRE:
             if self.holder is None:
                 self.holder = thread.tid
@@ -192,6 +199,11 @@ class Event(SharedObject):
         """Clear the event (``ResetEvent``)."""
         return Effect(EffectKind.RESET, self)
 
+    def poll(self) -> Effect:
+        """Observe the signalled state without waiting; the yield
+        result is a bool.  A synchronization access (never blocks)."""
+        return Effect(EffectKind.ATOMIC_READ, self)
+
     def is_enabled(self, effect: Effect, thread: "ThreadState") -> bool:
         if effect.kind is EffectKind.WAIT:
             return self.is_set
@@ -199,6 +211,8 @@ class Event(SharedObject):
 
     def apply(self, effect: Effect, thread: "ThreadState") -> Any:
         kind = effect.kind
+        if kind is EffectKind.ATOMIC_READ:
+            return self.is_set
         if kind is EffectKind.WAIT:
             if self.auto_reset:
                 self.is_set = False
@@ -238,6 +252,11 @@ class Semaphore(SharedObject):
         """P operation: block until the count is positive."""
         return Effect(EffectKind.SEM_ACQUIRE, self)
 
+    def try_acquire(self) -> Effect:
+        """Non-blocking P: decrement if positive; the yield result is
+        ``True`` on success."""
+        return Effect(EffectKind.TRY_ACQUIRE, self)
+
     def release(self, n: int = 1) -> Effect:
         """V operation: increment the count by ``n``."""
         return Effect(EffectKind.SEM_RELEASE, self, (n,))
@@ -252,6 +271,11 @@ class Semaphore(SharedObject):
         if kind is EffectKind.SEM_ACQUIRE:
             self.count -= 1
             return None
+        if kind is EffectKind.TRY_ACQUIRE:
+            if self.count > 0:
+                self.count -= 1
+                return True
+            return False
         if kind is EffectKind.SEM_RELEASE:
             (n,) = effect.args
             if self.maximum is not None and self.count + n > self.maximum:
@@ -280,8 +304,11 @@ class CondVar(SharedObject):
 
     def __init__(self, world: "World", name: str) -> None:
         super().__init__(world, name)
-        #: FIFO of (thread state, mutex to re-acquire).
-        self.waiters: List[Tuple["ThreadState", Mutex]] = []
+        #: FIFO of (thread id, mutex to re-acquire).  Ids, not thread
+        #: states: a waiter entry must not make the world reach the
+        #: thread's body (an in-vivo bridge parked here would otherwise
+        #: keep its own OS thread reachable and never unwind).
+        self.waiters: List[Tuple["ThreadId", Mutex]] = []
 
     def wait(self, mutex: Mutex) -> Effect:
         """Release ``mutex``, park until notified, then re-acquire it.
@@ -309,7 +336,7 @@ class CondVar(SharedObject):
         return True
 
     def snapshot(self) -> Hashable:
-        return ("condvar", tuple(t.tid for t, _ in self.waiters))
+        return ("condvar", tuple(tid for tid, _ in self.waiters))
 
 
 class RWLock(SharedObject):

@@ -1,0 +1,44 @@
+"""In-vivo checking: point the model checker at real ``threading`` code.
+
+The DSL in :mod:`repro.programs` expresses programs as generators that
+yield effects.  This package checks *ordinary* Python threading code
+instead: adapter classes with the ``threading`` API surface
+(:class:`Lock`, :class:`RLock`, :class:`Event`, :class:`Semaphore`,
+:class:`BoundedSemaphore`, :class:`Condition`) plus explicit shared
+state (:class:`Shared`, :class:`Atomic`), a cooperative runner that
+parks each user callable on a real OS thread so the deterministic
+scheduler decides who advances, and :class:`monkeypatch` to substitute
+``threading.*`` inside unmodified modules.  An :class:`InvivoProgram`
+plugs into :class:`~repro.chess.checker.ChessChecker`, traces, and the
+CLI (``repro check --module pkg.mod:make_program``) unchanged.
+
+See ``docs/invivo.md`` for the supported subset and its caveats.
+"""
+
+from .adapters import (
+    Atomic,
+    BoundedSemaphore,
+    Condition,
+    Event,
+    Lock,
+    RLock,
+    Semaphore,
+    Shared,
+)
+from .program import InvivoProgram, monkeypatch
+from .runner import DEFAULT_HANDSHAKE_TIMEOUT, InvivoError
+
+__all__ = [
+    "Atomic",
+    "BoundedSemaphore",
+    "Condition",
+    "DEFAULT_HANDSHAKE_TIMEOUT",
+    "Event",
+    "InvivoError",
+    "InvivoProgram",
+    "Lock",
+    "Shared",
+    "RLock",
+    "Semaphore",
+    "monkeypatch",
+]

@@ -1,0 +1,303 @@
+"""Drop-in ``threading`` primitives that relay into the model checker.
+
+Each adapter owns a shared object from :mod:`repro.core` and turns the
+``threading``-shaped method calls user code makes into the exact
+:class:`~repro.core.effects.EffectKind` vocabulary the engine already
+interprets -- the adapter/DSL parity the tests in ``tests/invivo``
+pin down operation by operation:
+
+========================  =============================================
+``Lock.acquire``           ``ACQUIRE`` (``TRY_ACQUIRE`` non-blocking)
+``Lock.release``           ``RELEASE``
+``Lock.locked``            ``ATOMIC_READ``
+``RLock`` (re-entrant)     ``ACQUIRE``/``TRY_ACQUIRE``/``RELEASE``
+``Event.wait/set/clear``   ``WAIT``/``SIGNAL``/``RESET``
+``Event.is_set``           ``ATOMIC_READ``
+``Semaphore.acquire``      ``SEM_ACQUIRE`` (``TRY_ACQUIRE`` non-blocking)
+``Semaphore.release``      ``SEM_RELEASE``
+``Condition.wait``         ``CV_WAIT``
+``Condition.notify(_all)`` ``CV_NOTIFY`` / ``CV_BROADCAST``
+``Shared.get/set``         ``READ``/``WRITE`` (race-checked data)
+``Atomic.*``               ``ATOMIC_*``/``CAS``/``EXCHANGE``
+========================  =============================================
+
+Deliberate divergences from ``threading`` (see ``docs/invivo.md``):
+timeouts are modelled as waiting forever (a timeout never fires in the
+model); releasing a lock from a non-owner is reported as a LOCK_ERROR
+bug instead of raising ``RuntimeError``; ``Condition`` requires an
+:class:`Lock` (not the re-entrant default of ``threading``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core import sync as _sync
+from ..core import variables as _vars
+from ..core.effects import Effect
+from .runner import InvivoContext, InvivoError, current_context, perform
+
+
+class _Adapter:
+    """Base adapter: binds to the active execution context when built."""
+
+    __slots__ = ("_ctx", "name")
+    _kind = "object"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._ctx: InvivoContext = current_context()
+        self.name = name or self._ctx.fresh_name(self._kind)
+
+    def _perform(self, effect: Effect) -> Any:
+        return perform(self._ctx, effect)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<invivo.{type(self).__name__} {self.name!r}>"
+
+
+class Lock(_Adapter):
+    """``threading.Lock``: a non-re-entrant mutex."""
+
+    __slots__ = ("_mutex",)
+    _kind = "lock"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._mutex = _sync.Mutex(self._ctx.world, self.name)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if not blocking:
+            return bool(self._perform(self._mutex.try_acquire()))
+        self._perform(self._mutex.acquire())
+        return True
+
+    def release(self) -> None:
+        self._perform(self._mutex.release())
+
+    def locked(self) -> bool:
+        return bool(self._perform(self._mutex.poll()))
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.release()
+        return False
+
+
+class RLock(_Adapter):
+    """``threading.RLock``: re-entrant acquisition by the owner."""
+
+    __slots__ = ("_section",)
+    _kind = "rlock"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._section = _sync.CriticalSection(self._ctx.world, self.name)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if not blocking:
+            return bool(self._perform(self._section.try_enter()))
+        self._perform(self._section.enter())
+        return True
+
+    def release(self) -> None:
+        self._perform(self._section.leave())
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.release()
+        return False
+
+
+class Event(_Adapter):
+    """``threading.Event``: a manual-reset flag threads wait on."""
+
+    __slots__ = ("_event",)
+    _kind = "event"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._event = _sync.Event(self._ctx.world, self.name, initial=False)
+
+    def is_set(self) -> bool:
+        return bool(self._perform(self._event.poll()))
+
+    def set(self) -> None:
+        self._perform(self._event.set())
+
+    def clear(self) -> None:
+        self._perform(self._event.reset())
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._perform(self._event.wait())
+        return True
+
+
+class Semaphore(_Adapter):
+    """``threading.Semaphore``: a counting semaphore."""
+
+    __slots__ = ("_sem",)
+    _kind = "semaphore"
+
+    def __init__(
+        self,
+        value: int = 1,
+        name: Optional[str] = None,
+        _maximum: Optional[int] = None,
+    ) -> None:
+        if value < 0:
+            raise ValueError("semaphore initial value must be >= 0")
+        super().__init__(name)
+        self._sem = _sync.Semaphore(
+            self._ctx.world, self.name, initial=value, maximum=_maximum
+        )
+
+    def acquire(self, blocking: bool = True, timeout: Optional[float] = None) -> bool:
+        if not blocking:
+            return bool(self._perform(self._sem.try_acquire()))
+        self._perform(self._sem.acquire())
+        return True
+
+    def release(self, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError("n must be one or more")
+        self._perform(self._sem.release(n))
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.release()
+        return False
+
+
+class BoundedSemaphore(Semaphore):
+    """``threading.BoundedSemaphore``: releasing past the initial
+    value is reported as a LOCK_ERROR bug (instead of ValueError)."""
+
+    _kind = "bsemaphore"
+
+    def __init__(self, value: int = 1, name: Optional[str] = None) -> None:
+        super().__init__(value, name, _maximum=value)
+
+
+class Condition(_Adapter):
+    """``threading.Condition`` over an :class:`Lock` (Mesa-style).
+
+    Unlike ``threading``, the default (and only) underlying lock is a
+    plain :class:`Lock`: the engine's condition-variable protocol
+    releases and re-acquires a non-re-entrant mutex, so re-entrant
+    locks are rejected rather than silently mis-modelled.
+    """
+
+    __slots__ = ("_lock", "_cv")
+    _kind = "condition"
+
+    def __init__(
+        self, lock: Optional[Lock] = None, name: Optional[str] = None
+    ) -> None:
+        super().__init__(name)
+        if lock is None:
+            lock = Lock(name=f"{self.name}.lock")
+        if not isinstance(lock, Lock):
+            raise InvivoError(
+                "invivo.Condition requires an invivo.Lock; re-entrant "
+                "locks cannot back the engine's wait/notify protocol"
+            )
+        if lock._ctx is not self._ctx:
+            raise InvivoError(
+                "the condition's lock belongs to a different execution"
+            )
+        self._lock = lock
+        self._cv = _sync.CondVar(self._ctx.world, self.name)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._lock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self._lock.__enter__()
+
+    def __exit__(self, *exc: Any) -> bool:
+        return self._lock.__exit__(*exc)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        self._perform(self._cv.wait(self._lock._mutex))
+        return True
+
+    def wait_for(
+        self, predicate: Callable[[], Any], timeout: Optional[float] = None
+    ) -> Any:
+        result = predicate()
+        while not result:
+            self.wait()
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        for _ in range(n):
+            self._perform(self._cv.notify())
+
+    def notify_all(self) -> None:
+        self._perform(self._cv.broadcast())
+
+
+class Shared(_Adapter):
+    """A race-checked shared data slot (the paper's ``DataVar``).
+
+    Plain Python attributes are invisible to the checker; state that
+    threads share must live in :class:`Shared` (or :class:`Atomic`)
+    for race detection and state fingerprints to see it.  Values must
+    be hashable (use tuples, not lists).
+    """
+
+    __slots__ = ("_var",)
+    _kind = "shared"
+
+    def __init__(self, initial: Any = None, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._var = _vars.SharedVar(self._ctx.world, self.name, initial)
+
+    def get(self) -> Any:
+        return self._perform(self._var.read())
+
+    def set(self, value: Any) -> None:
+        self._perform(self._var.write(value))
+
+    value = property(get, set)
+
+
+class Atomic(_Adapter):
+    """An atomic variable with interlocked operations (``SyncVar``)."""
+
+    __slots__ = ("_var",)
+    _kind = "atomic"
+
+    def __init__(self, initial: Any = 0, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._var = _vars.AtomicVar(self._ctx.world, self.name, initial)
+
+    def get(self) -> Any:
+        return self._perform(self._var.read())
+
+    def set(self, value: Any) -> None:
+        self._perform(self._var.write(value))
+
+    def add(self, delta: Any = 1) -> Any:
+        """Atomic add; returns the *new* value."""
+        return self._perform(self._var.add(delta))
+
+    def cas(self, expected: Any, new: Any) -> bool:
+        """Compare-and-swap; ``True`` on success."""
+        return bool(self._perform(self._var.cas(expected, new)))
+
+    def exchange(self, new: Any) -> Any:
+        """Atomic exchange; returns the *old* value."""
+        return self._perform(self._var.exchange(new))
+
+    value = property(get, set)

@@ -1,0 +1,312 @@
+"""The cooperative runner: real OS threads under scheduler control.
+
+The generator DSL gives the engine a natural co-routine boundary --
+``yield`` -- at every shared access.  Real ``threading`` code has no
+such boundary, so the in-vivo runner manufactures one: each user
+callable runs on a real (daemon) OS thread that *parks on a handshake*
+whenever it performs a synchronization operation.  A per-thread
+:class:`Channel` relays the operation to a small *bridge generator*
+(the thread body the engine actually drives), the bridge yields the
+corresponding :class:`~repro.core.effects.Effect`, and the engine's
+result travels back across the handshake before the user thread may
+take another step.  Exactly one user thread runs at any moment -- the
+one whose bridge the deterministic scheduler chose to advance -- so
+the search explores real code with the same replayable determinism as
+the DSL (the Sthread construction; see ``docs/invivo.md``).
+
+Scheduling points are exactly the adapter operations, which is the
+Section 3.1 ``sync_only`` reduction: code between two adapter calls is
+a local computation the scheduler never interrupts.
+"""
+
+from __future__ import annotations
+
+import threading as _threading
+from contextlib import contextmanager
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterator,
+    Optional,
+    Tuple,
+)
+
+from ..core.effects import Effect
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.world import World
+    from .program import InvivoProgram
+
+#: How long the engine waits for a user thread to reach its next
+#: adapter operation before declaring the handshake broken.  Generous:
+#: it only fires when user code blocks outside the adapters (real I/O,
+#: a real lock), which in-vivo checking cannot control.
+DEFAULT_HANDSHAKE_TIMEOUT = 30.0
+
+#: How long an abandoned user thread is given to unwind.
+_JOIN_TIMEOUT = 2.0
+
+
+class InvivoError(ReproError):
+    """Misuse of the in-vivo harness itself (not a program-under-test
+    bug): adapter use outside a checked execution, an object escaping
+    into a later execution, or a broken handshake."""
+
+
+class _Abort(BaseException):
+    """Raised inside an abandoned user thread to unwind it promptly.
+
+    Derives from ``BaseException`` so ordinary ``except Exception``
+    handlers in user code cannot swallow the teardown.
+    """
+
+
+_tls = _threading.local()
+
+
+class Channel:
+    """The two-sided handshake between the engine and one user thread.
+
+    Two events act as batons: ``_to_engine`` carries the user thread's
+    next request (an effect to perform, or its final outcome) and
+    ``_to_user`` carries the engine's response.  The protocol strictly
+    alternates, so each slot has a single writer at any time.
+    """
+
+    __slots__ = (
+        "ctx",
+        "label",
+        "timeout",
+        "thread",
+        "aborting",
+        "done",
+        "name_counters",
+        "_to_user",
+        "_to_engine",
+        "_request",
+        "_response",
+    )
+
+    def __init__(self, ctx: "InvivoContext", label: str, timeout: float) -> None:
+        self.ctx = ctx
+        self.label = label
+        self.timeout = timeout
+        self.thread: Optional[_threading.Thread] = None
+        self.aborting = False
+        self.done = False
+        #: Per-kind counters naming objects created mid-run by this
+        #: thread (canonical across executions, like alloc_counter).
+        self.name_counters: Dict[str, int] = {}
+        self._to_user = _threading.Event()
+        self._to_engine = _threading.Event()
+        self._request: Optional[Tuple[str, Any]] = None
+        self._response: Any = None
+
+    # -- user-thread side ----------------------------------------------------
+
+    def perform(self, effect: Effect) -> Any:
+        """Hand ``effect`` to the engine; park until it answers."""
+        self._request = ("effect", effect)
+        self._to_engine.set()
+        self._to_user.wait()
+        self._to_user.clear()
+        if self.aborting:
+            raise _Abort()
+        return self._response
+
+    def finish(self, outcome: Tuple[str, Any]) -> None:
+        """Report the callable's final outcome (``done`` or ``error``)."""
+        self._request = outcome
+        self._to_engine.set()
+
+    # -- engine side ---------------------------------------------------------
+
+    def await_request(self) -> Tuple[str, Any]:
+        """Block until the user thread parks again; return its request."""
+        if not self._to_engine.wait(self.timeout):
+            self.aborting = True
+            raise InvivoError(
+                f"in-vivo thread {self.label!r} did not reach a "
+                f"synchronization operation within {self.timeout:.0f}s; "
+                "every blocking call must go through the repro.invivo "
+                "adapters (real I/O and real locks stall the handshake)"
+            )
+        self._to_engine.clear()
+        assert self._request is not None
+        kind, payload = self._request
+        self._request = None
+        if kind != "effect":
+            self.done = True
+        return kind, payload
+
+    def resume(self, value: Any) -> Tuple[str, Any]:
+        """Deliver an effect's result; wait for the next request."""
+        self._response = value
+        self._to_user.set()
+        return self.await_request()
+
+    def abandon(self) -> bool:
+        """Unwind the user thread; ``True`` if it was still mid-run."""
+        was_running = not self.done
+        self.aborting = True
+        self._to_user.set()
+        thread = self.thread
+        if thread is not None and thread.is_alive():
+            thread.join(_JOIN_TIMEOUT)
+        return was_running
+
+
+class InvivoContext:
+    """Execution-scoped home of every adapter-backed shared object.
+
+    A fresh context (and a fresh :class:`~repro.core.world.World`) is
+    built per execution, so adapters constructed in ``setup()`` or
+    inside checked threads always land in state the current replay
+    owns -- the stateless checker's from-scratch determinism.
+    """
+
+    def __init__(self, world: "World", program: "InvivoProgram") -> None:
+        self.world = world
+        self.program = program
+        self._counters: Dict[str, int] = {}
+
+    def fresh_name(self, kind: str) -> str:
+        """A canonical auto-name for an unnamed adapter.
+
+        Setup-time objects number globally (``lock#0``); objects a
+        checked thread creates mid-run number per thread label
+        (``lock@worker#0``) so the name only depends on the thread's
+        own history, never on the schedule around it.
+        """
+        channel = getattr(_tls, "channel", None)
+        if channel is not None and channel.ctx is self:
+            n = channel.name_counters.get(kind, 0)
+            channel.name_counters[kind] = n + 1
+            return f"{kind}@{channel.label}#{n}"
+        n = self._counters.get(kind, 0)
+        self._counters[kind] = n + 1
+        return f"{kind}#{n}"
+
+
+#: The context active while an InvivoProgram instantiates (engine
+#: thread only); checked threads find theirs through ``_tls.channel``.
+_ambient: Optional[InvivoContext] = None
+
+
+@contextmanager
+def activate(ctx: InvivoContext) -> Iterator[InvivoContext]:
+    """Make ``ctx`` ambient while the program's setup() runs."""
+    global _ambient
+    if _ambient is not None:
+        raise InvivoError(
+            "an in-vivo program is already instantiating; programs must "
+            "be built one at a time"
+        )
+    _ambient = ctx
+    try:
+        yield ctx
+    finally:
+        _ambient = None
+
+
+def current_context() -> InvivoContext:
+    """The context an adapter constructed *here* belongs to."""
+    channel = getattr(_tls, "channel", None)
+    if channel is not None:
+        return channel.ctx
+    if _ambient is not None:
+        return _ambient
+    raise InvivoError(
+        "no in-vivo execution is active here: create invivo objects "
+        "inside an InvivoProgram's setup() or inside one of its checked "
+        "threads (module import time is too early)"
+    )
+
+
+def perform(ctx: InvivoContext, effect: Effect) -> Any:
+    """Relay one adapter operation into the controlled scheduler."""
+    channel = getattr(_tls, "channel", None)
+    if channel is None:
+        raise InvivoError(
+            "in-vivo synchronization is only possible inside a checked "
+            "thread; this call ran outside the controlled scheduler "
+            "(setup() may create objects but must not operate on them)"
+        )
+    if channel.aborting:
+        raise _Abort()
+    if channel.ctx is not ctx:
+        raise InvivoError(
+            "this invivo object belongs to a different execution; create "
+            "per-program shared state inside setup() so every replay "
+            "starts fresh"
+        )
+    return channel.perform(effect)
+
+
+def _user_main(
+    channel: Channel, fn: Callable[..., Any], args: Tuple[Any, ...]
+) -> None:
+    """Entry point of the real OS thread running one user callable."""
+    from ..errors import ProgramAssertionError
+
+    _tls.channel = channel
+    outcome: Optional[Tuple[str, Any]] = ("done", None)
+    try:
+        fn(*args)
+    except _Abort:
+        outcome = None  # the engine moved on; nothing to report
+    except AssertionError as exc:
+        if not isinstance(exc, ProgramAssertionError):
+            exc = ProgramAssertionError(str(exc) or "assertion failed")
+        outcome = ("error", exc)
+    except BaseException as exc:  # noqa: BLE001 - program-under-test fault
+        outcome = ("error", exc)
+    finally:
+        _tls.channel = None
+    if outcome is not None:
+        channel.finish(outcome)
+
+
+def make_bridge(
+    ctx: InvivoContext, label: str, fn: Callable[..., Any], args: Tuple[Any, ...]
+) -> Callable[[], Generator[Effect, Any, None]]:
+    """Wrap a user callable as a generator thread body.
+
+    The returned generator function is what the engine drives: it
+    starts the OS thread lazily (on the thread's START step), relays
+    each parked operation as a yielded effect, re-raises the user
+    callable's uncaught exception (so the engine classifies it exactly
+    as it would a DSL body's), and -- however the generator ends,
+    including ``close()`` from a discarded execution -- unwinds the OS
+    thread so no execution leaks one.
+    """
+
+    def bridge() -> Generator[Effect, Any, None]:
+        channel = Channel(ctx, label, ctx.program.handshake_timeout)
+        thread = _threading.Thread(
+            target=_user_main,
+            args=(channel, fn, args),
+            name=f"invivo:{ctx.program.name}:{label}",
+            daemon=True,
+        )
+        channel.thread = thread
+        stats = ctx.program.invivo_stats
+        stats["threads"] += 1
+        try:
+            thread.start()
+            kind, payload = channel.await_request()
+            while kind == "effect":
+                stats["handshakes"] += 1
+                value = yield payload
+                kind, payload = channel.resume(value)
+            if kind == "error":
+                raise payload
+        finally:
+            if channel.abandon():
+                stats["abandoned"] += 1
+
+    return bridge

@@ -197,6 +197,14 @@ class ServiceClient:
     def cache_entry(self, key: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/cache/{key}")["entry"]
 
+    def push_cache_entry(self, key: str, entry: Dict[str, Any]) -> bool:
+        """Offer a freshly computed cache entry to this peer
+        (push-on-complete); ``True`` if the peer stored it, ``False``
+        if it already had the key.  Idempotent: the entry is
+        content-addressed, so re-pushing writes the same bytes."""
+        reply = self._request("POST", f"/v1/cache/{key}", {"entry": entry})
+        return bool(reply.get("stored"))
+
     def trace_names(self) -> List[str]:
         return self._request("GET", "/v1/traces")["names"]
 

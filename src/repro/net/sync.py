@@ -15,6 +15,11 @@ each other converge.  Two mechanisms share that property:
   diff key lists against each peer and pull whatever is missing, so
   results and witness traces eventually live everywhere even if no
   submit ever asks for them.
+* **push-on-complete** (:meth:`CacheSync.push_on_complete`): the
+  moment a daemon finishes a job, it POSTs the fresh cache entry to
+  every peer instead of waiting for their next anti-entropy sweep --
+  the same object, just delivered eagerly, so a duplicate submit
+  landing on any fleet member a moment later is already a cache hit.
 
 A peer being down is never an error -- sync is opportunistic; the
 local daemon can always fall back to doing the work itself.
@@ -146,6 +151,39 @@ class CacheSync:
             if self._store_entry(key, entry, client.base_url):
                 return key
         return None
+
+    # -- push-on-complete ----------------------------------------------------
+
+    def push_on_complete(self, job: Job) -> int:
+        """POST ``job``'s freshly written cache entry to every peer;
+        returns how many peers accepted (stored or already had) it.
+
+        Called by the fleet claim loop right after a fenced
+        completion.  Opportunistic like every sync path: a peer being
+        down, or rejecting the entry, never fails the job.
+        """
+        if not self.clients:
+            return 0
+        key = job_cache_key(job)
+        if key is None:
+            return 0
+        path = self.service.cache.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            # Nothing durable to offer (e.g. a budgeted, uncacheable
+            # run never stored a result entry).
+            return 0
+        delivered = 0
+        for client in self.clients:
+            try:
+                client.push_cache_entry(key, entry)
+            except ServiceClientError:
+                continue  # peer down; its anti-entropy sweep catches up
+            delivered += 1
+            if self.obs is not None:
+                self.obs.cache_push_sent(key, client.base_url)
+        return delivered
 
     # -- anti-entropy --------------------------------------------------------
 

@@ -264,6 +264,31 @@ class CacheSyncApplied(Event):
     kind_of: str
 
 
+@dataclass(frozen=True)
+class CachePushSent(Event):
+    """A freshly computed result-cache entry was pushed to a peer
+    daemon at job completion (``repro.net.sync``), ahead of its
+    anti-entropy sweep."""
+
+    kind: ClassVar[str] = "cache_push_sent"
+
+    key: str
+    peer: str
+
+
+@dataclass(frozen=True)
+class InvivoRun(Event):
+    """A checking run over an in-vivo program finished
+    (``repro.invivo``); cumulative OS-thread/handshake totals."""
+
+    kind: ClassVar[str] = "invivo_run"
+
+    program: str
+    threads: int
+    handshakes: int
+    abandoned: int
+
+
 #: Registry of every event type, keyed by its wire tag.  Serialization
 #: and validation are driven from this table, so adding an event type
 #: here is the single step that extends the schema.
@@ -288,6 +313,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         LeaseRenewed,
         LeaseTakeover,
         CacheSyncApplied,
+        CachePushSent,
+        InvivoRun,
     )
 }
 

@@ -31,6 +31,7 @@ from .events import (
     BoundCompleted,
     BoundStarted,
     BugFound,
+    CachePushSent,
     CacheSyncApplied,
     CheckpointResumed,
     CheckpointSaved,
@@ -40,6 +41,7 @@ from .events import (
     LeaseTakeover,
     ExecutionFinished,
     ExecutionStarted,
+    InvivoRun,
     RaceChecked,
     ResultCacheServed,
     SearchFinished,
@@ -341,6 +343,30 @@ class Instrumentation:
         self.metrics.add("cache_sync_hits")
         if self.bus.active:
             self.bus.emit(CacheSyncApplied(self.now(), key, source, kind))
+
+    def cache_push_sent(self, key: str, peer: str) -> None:
+        """A fresh result-cache entry was pushed to a peer at job
+        completion, ahead of its anti-entropy sweep."""
+        self.metrics.add("cache_pushes")
+        if self.bus.active:
+            self.bus.emit(CachePushSent(self.now(), key, peer))
+
+    # -- in-vivo hooks (see repro.invivo) -------------------------------------
+
+    def invivo_run(
+        self, program: str, threads: int, handshakes: int, abandoned: int
+    ) -> None:
+        """A checking run over an in-vivo program finished; totals are
+        cumulative over the program object's executions."""
+        registry = self.metrics
+        registry.add("invivo_runs")
+        registry.set_gauge("invivo_threads", float(threads))
+        registry.set_gauge("invivo_handshakes", float(handshakes))
+        registry.set_gauge("invivo_abandoned", float(abandoned))
+        if self.bus.active:
+            self.bus.emit(
+                InvivoRun(self.now(), program, threads, handshakes, abandoned)
+            )
 
     # -- freezing ----------------------------------------------------------
 

@@ -338,10 +338,18 @@ class MetricsSnapshot:
             ("lease renewals", self.counters.get("lease_renewals", 0)),
             ("lease takeovers", self.counters.get("lease_takeovers", 0)),
             ("cache sync hits", self.counters.get("cache_sync_hits", 0)),
+            ("cache pushes", self.counters.get("cache_pushes", 0)),
         ]
         if any(count for _, count in fleet):
             lines.append(
                 "fleet: " + ", ".join(f"{count} {name}" for name, count in fleet)
+            )
+        if self.counters.get("invivo_runs"):
+            lines.append(
+                f"invivo: {self.counters['invivo_runs']} run(s), "
+                f"{self.gauges.get('invivo_threads', 0):.0f} os thread(s), "
+                f"{self.gauges.get('invivo_handshakes', 0):.0f} handshake(s), "
+                f"{self.gauges.get('invivo_abandoned', 0):.0f} abandoned"
             )
         if self.executions_by_bound or self.states_by_bound:
             lines.append("per-bound breakdown:")

@@ -1,0 +1,1 @@
+"""Tests for ``repro.invivo``: model checking real threading code."""

@@ -1,0 +1,87 @@
+"""CLI surface added with the in-vivo subsystem: ``check --module``,
+the did-you-mean hint on unknown program names, and witness save /
+replay for module-factory programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+QUEUE = "examples.invivo.bounded_queue:make_program"
+SINGLETON = "examples.invivo.lazy_singleton:make_program"
+
+
+class TestCheckModule:
+    def test_module_factory_is_checkable(self, capsys):
+        code = main(["check", "--module", QUEUE, "--stop-on-first-bug"])
+        assert code == 1
+        assert "uncaught-exception" in capsys.readouterr().out
+
+    def test_fixed_factory_exits_zero(self, capsys):
+        code = main(
+            ["check", "--module",
+             "examples.invivo.bounded_queue:make_fixed", "--bound", "1"]
+        )
+        assert code == 0
+        assert "0 bug(s)" in capsys.readouterr().out
+
+    def test_program_and_module_are_exclusive(self):
+        with pytest.raises(SystemExit, match="not both"):
+            main(["check", "toy:dekker", "--module", QUEUE])
+
+    def test_one_of_them_is_required(self):
+        with pytest.raises(SystemExit, match="PROGRAM"):
+            main(["check"])
+
+    def test_module_must_name_a_factory(self):
+        with pytest.raises(SystemExit, match="module:factory"):
+            main(["check", "--module", "examples.invivo.bounded_queue"])
+
+    def test_missing_module_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="cannot import"):
+            main(["check", "--module", "no.such.module:make_program"])
+
+    def test_missing_factory_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="no attribute"):
+            main(["check", "--module",
+                  "examples.invivo.bounded_queue:make_nothing"])
+
+
+class TestDidYouMean:
+    def test_close_misspelling_gets_a_hint(self):
+        with pytest.raises(SystemExit) as err:
+            main(["check", "bluetooh"])
+        message = str(err.value)
+        assert "unknown program 'bluetooh'" in message
+        assert "did you mean:" in message and "bluetooth" in message
+
+    def test_hopeless_names_get_no_hint(self):
+        with pytest.raises(SystemExit) as err:
+            main(["check", "zzzzqqqq"])
+        assert "did you mean" not in str(err.value)
+
+
+class TestTraceRoundTrip:
+    def test_save_and_replay_a_module_witness(self, tmp_path, capsys):
+        out = tmp_path / "singleton.trace.json"
+        code = main(
+            ["trace", "save", "--module", SINGLETON, str(out), "--bound", "1"]
+        )
+        assert code == 0
+        assert out.exists()
+        capsys.readouterr()
+        code = main(["trace", "replay", str(out)])
+        assert code == 0
+        assert "reproduced" in capsys.readouterr().out
+
+    def test_flag_interspersed_save_still_parses(self, tmp_path):
+        # argparse cannot bind a positional that follows interspersed
+        # flags to a second optional positional slot; the CLI rescues
+        # exactly this form because it is the documented idiom.
+        out = tmp_path / "queue.trace.json"
+        code = main(
+            ["trace", "save", "--module", QUEUE, "--bound", "1", str(out)]
+        )
+        assert code == 0
+        assert out.exists()

@@ -1,0 +1,131 @@
+"""``invivo.monkeypatch``: substituting ``threading`` inside target
+modules, and the shim's supported/unsupported surface."""
+
+from __future__ import annotations
+
+import sys
+import threading
+import types
+
+import pytest
+
+from repro import ChessChecker
+from repro.errors import BugKind
+from repro.invivo import InvivoError, InvivoProgram, monkeypatch
+from repro.invivo import adapters
+
+
+def scratch_module(name="scratch_target"):
+    """A module that imports threading both ways, like real code."""
+    mod = types.ModuleType(name)
+    mod.threading = threading
+    mod.Lock = threading.Lock
+    mod.Event = threading.Event
+    mod.deque = list  # an unrelated name the patcher must leave alone
+    return mod
+
+
+class TestApplyRestore:
+    def test_apply_substitutes_both_import_styles(self):
+        mod = scratch_module()
+        patch = monkeypatch(mod).apply()
+        try:
+            # `import threading` now resolves primitives to adapters...
+            assert mod.threading.Lock is adapters.Lock
+            assert mod.threading.Condition is adapters.Condition
+            # ...as do names imported directly...
+            assert mod.Lock is adapters.Lock
+            assert mod.Event is adapters.Event
+            # ...and unrelated names are untouched.
+            assert mod.deque is list
+        finally:
+            patch.restore()
+
+    def test_restore_puts_the_originals_back(self):
+        mod = scratch_module()
+        patch = monkeypatch(mod)
+        patch.apply()
+        patch.restore()
+        assert mod.threading is threading
+        assert mod.Lock is threading.Lock
+        assert mod.Event is threading.Event
+
+    def test_apply_is_idempotent(self):
+        mod = scratch_module()
+        patch = monkeypatch(mod)
+        patch.apply()
+        patch.apply()  # second apply is a no-op, not a double-save
+        patch.restore()
+        assert mod.threading is threading and mod.Lock is threading.Lock
+
+    def test_context_manager_form(self):
+        mod = scratch_module()
+        with monkeypatch(mod):
+            assert mod.Lock is adapters.Lock
+        assert mod.Lock is threading.Lock
+
+    def test_string_targets_resolve_through_sys_modules(self):
+        mod = scratch_module("scratch_by_name")
+        sys.modules["scratch_by_name"] = mod
+        try:
+            with monkeypatch("scratch_by_name"):
+                assert mod.Lock is adapters.Lock
+            assert mod.Lock is threading.Lock
+        finally:
+            del sys.modules["scratch_by_name"]
+
+    def test_needs_at_least_one_module(self):
+        with pytest.raises(InvivoError, match="at least one"):
+            monkeypatch()
+
+
+class TestShimSurface:
+    def test_unsupported_primitives_fail_loudly(self):
+        mod = scratch_module()
+        with monkeypatch(mod):
+            for name in ("Thread", "Timer", "Barrier"):
+                with pytest.raises(InvivoError, match=f"threading.{name}"):
+                    getattr(mod.threading, name)
+
+    def test_everything_else_delegates_to_real_threading(self):
+        mod = scratch_module()
+        with monkeypatch(mod):
+            assert mod.threading.current_thread is threading.current_thread
+            assert mod.threading.local is threading.local
+            assert mod.threading.TIMEOUT_MAX == threading.TIMEOUT_MAX
+
+
+class TestEndToEnd:
+    def test_patched_module_is_checkable(self):
+        # A module written against plain `threading`, checked without
+        # editing it: the monkeypatch makes its Lock an adapter, and
+        # the classic check-then-act race surfaces at one preemption.
+        src = types.ModuleType("patched_counter")
+        code = """
+import threading
+
+def make_state():
+    return {"lock": threading.Lock(), "count": [0], "winners": [0]}
+
+def bump_once(state):
+    if state["count"][0] == 0:        # check
+        with state["lock"]:
+            state["count"][0] += 1    # act: double-increment race
+            state["winners"][0] += 1
+    assert state["winners"][0] <= 1, "two threads won the check-then-act"
+"""
+        exec(compile(code, "<patched_counter>", "exec"), src.__dict__)
+
+        def setup():
+            state = src.make_state()
+            return [
+                ("a", src.bump_once, (state,)),
+                ("b", src.bump_once, (state,)),
+            ]
+
+        program = InvivoProgram(
+            "patched-counter", setup, patch=monkeypatch(src)
+        )
+        bug = ChessChecker(program).find_bug(max_bound=1)
+        assert bug is not None
+        assert bug.kind is BugKind.ASSERTION

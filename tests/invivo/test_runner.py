@@ -1,0 +1,234 @@
+"""The cooperative runner: OS-thread hygiene, handshake failure modes,
+and the misuse guardrails of the in-vivo harness itself."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import ChessChecker, Execution, SearchLimits
+from repro.errors import BugKind, ProgramDefinitionError
+from repro.invivo import (
+    Condition,
+    Event,
+    InvivoError,
+    InvivoProgram,
+    Lock,
+    Shared,
+)
+
+
+def invivo_threads():
+    """Live OS threads the runner created (named ``invivo:...``)."""
+    return [
+        t for t in threading.enumerate() if t.name.startswith("invivo:")
+    ]
+
+
+def wait_for_cleanup(deadline: float = 5.0) -> None:
+    """Abandoned user threads unwind asynchronously; give them a beat."""
+    end = time.monotonic() + deadline
+    while invivo_threads() and time.monotonic() < end:
+        time.sleep(0.01)
+
+
+def make_blocky_program():
+    """A program whose search abandons mid-run threads constantly."""
+
+    def setup():
+        gate = Event(name="gate")
+        hits = Shared(0, name="hits")
+
+        def opener():
+            gate.set()
+            hits.set(hits.get() + 1)
+
+        def waiter():
+            gate.wait()
+            hits.set(hits.get() + 1)
+
+        return {"waiter": waiter, "opener": opener}
+
+    return InvivoProgram("blocky", setup)
+
+
+class TestThreadHygiene:
+    def test_no_os_threads_leak_after_a_search(self):
+        program = make_blocky_program()
+        ChessChecker(program).check(
+            max_bound=2, limits=SearchLimits(max_executions=50)
+        )
+        wait_for_cleanup()
+        assert invivo_threads() == []
+
+    def test_abandoned_threads_are_accounted(self):
+        # stop_on_first_bug on a racy program discards executions
+        # mid-run; every such discard must show up in the stats, and
+        # every started thread must be either finished or abandoned.
+        program = make_blocky_program()
+        bug = ChessChecker(program).find_bug(max_bound=1)
+        assert bug is not None and bug.kind is BugKind.DATA_RACE
+        stats = program.invivo_stats
+        assert stats["threads"] > 0
+        assert stats["handshakes"] > 0
+        assert 0 < stats["abandoned"] <= stats["threads"]
+        wait_for_cleanup()
+        assert invivo_threads() == []
+
+    def test_discarding_an_execution_midway_unwinds_threads(self):
+        # close() on a half-driven execution (what the engine does
+        # when a schedule is pruned) must not leak the parked thread.
+        execution = Execution(make_blocky_program())
+        execution.execute(execution.enabled_threads()[0])
+        del execution
+        wait_for_cleanup()
+        assert invivo_threads() == []
+
+    def test_thread_parked_in_cv_wait_unwinds_on_discard(self):
+        # Regression: CondVar.waiters once stored ThreadState objects,
+        # so a bridge parked in cv.wait() was reachable from the world
+        # via its *own* stack (perform -> ctx -> world -> waiters ->
+        # generator) and could never be collected -- the OS thread
+        # kept itself alive forever.  Waiters hold thread ids now.
+        def setup():
+            lock = Lock(name="m")
+            cond = Condition(lock, name="cv")
+
+            def sleeper():
+                with cond:
+                    cond.wait()
+
+            def poker():
+                with cond:
+                    cond.notify()
+
+            return {"sleeper": sleeper, "poker": poker}
+
+        execution = Execution(InvivoProgram("parked-waiter", setup))
+        # Drive the sleeper until it parks inside cv.wait (START,
+        # acquire, cv-wait), then discard the execution mid-run.
+        tid = next(t for t in execution.enabled_threads() if "sleeper" in str(t))
+        for _ in range(3):
+            execution.execute(tid)
+        del execution
+        wait_for_cleanup()
+        assert invivo_threads() == []
+
+
+class TestHandshakeTimeout:
+    def test_blocking_outside_the_adapters_is_reported(self):
+        # A user thread that parks on a *real* primitive never reaches
+        # the handshake; the engine must diagnose it rather than hang.
+        real_gate = threading.Event()
+
+        def setup():
+            def stuck():
+                real_gate.wait()
+
+            return {"stuck": stuck}
+
+        program = InvivoProgram(
+            "stuck", setup, handshake_timeout=0.2
+        )
+        execution = Execution(program).run_round_robin()
+        assert execution.failed
+        [bug] = execution.bugs
+        assert bug.kind is BugKind.UNCAUGHT_EXCEPTION
+        assert "did not reach a synchronization operation" in str(bug)
+        real_gate.set()  # let the real thread unwind
+        wait_for_cleanup()
+
+
+class TestHarnessMisuse:
+    def test_adapters_need_an_active_execution(self):
+        with pytest.raises(InvivoError, match="no in-vivo execution"):
+            Lock()
+
+    def test_setup_may_create_but_not_operate(self):
+        def setup():
+            lock = Lock(name="m")
+            lock.acquire()  # too early: no controlled thread yet
+
+            def worker():
+                pass
+
+            return {"worker": worker}
+
+        with pytest.raises(InvivoError, match="inside a checked"):
+            InvivoProgram("eager", setup).instantiate()
+
+    def test_generator_setup_is_rejected(self):
+        def setup():
+            yield "worker", (lambda: None)
+
+        with pytest.raises(ProgramDefinitionError, match="generator"):
+            InvivoProgram("gen", setup).instantiate()
+
+    def test_nested_instantiation_is_rejected(self):
+        inner = InvivoProgram("inner", lambda: {"t": (lambda: None)})
+
+        def setup():
+            inner.instantiate()
+            return {"t": (lambda: None)}
+
+        with pytest.raises(InvivoError, match="one at a time"):
+            InvivoProgram("outer", setup).instantiate()
+
+    def test_condition_rejects_foreign_locks(self):
+        from repro.invivo import Condition, RLock
+
+        def setup():
+            Condition(RLock(name="r"))
+            return {"t": (lambda: None)}
+
+        with pytest.raises(InvivoError, match="invivo.Lock"):
+            InvivoProgram("bad-cv", setup).instantiate()
+
+    def test_semaphore_argument_validation(self):
+        def setup():
+            from repro.invivo import Semaphore
+
+            with pytest.raises(ValueError):
+                Semaphore(-1)
+            sem = Semaphore(1, name="s")
+
+            def worker():
+                with pytest.raises(ValueError):
+                    sem.release(0)
+
+            return {"worker": worker}
+
+        Execution(InvivoProgram("sem-args", setup)).run_round_robin()
+
+
+class TestObservability:
+    def test_run_stats_surface_through_obs(self):
+        from repro.obs import Instrumentation
+
+        obs = Instrumentation()
+        program = make_blocky_program()
+        ChessChecker(program).check(
+            max_bound=1, limits=SearchLimits(max_executions=20), obs=obs
+        )
+        assert obs.metrics.counters["invivo_runs"] == 1
+        assert obs.metrics.gauges["invivo_threads"] == program.invivo_stats["threads"]
+        assert "invivo:" in obs.metrics.snapshot().summary()
+
+    def test_dsl_programs_emit_no_invivo_metrics(self):
+        from repro.obs import Instrumentation
+        from repro import Program
+
+        def setup(w):
+            flag = w.atomic("flag", 0)
+
+            def t():
+                yield flag.write(1)
+
+            return {"t": t}
+
+        obs = Instrumentation()
+        ChessChecker(Program("plain", setup)).check(max_bound=1, obs=obs)
+        assert "invivo_runs" not in obs.metrics.counters
+        assert "invivo:" not in obs.metrics.snapshot().summary()

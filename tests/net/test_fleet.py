@@ -205,3 +205,39 @@ def test_sigkilled_daemon_is_taken_over_without_double_execution(tmp_path):
     assert canonical_results(root) == single_daemon_results(
         tmp_path / "solo", KILL_JOBS
     )
+
+
+def test_completion_pushes_the_entry_to_peers(tmp_path):
+    """Push-on-complete: the moment a daemon finishes a job, its peers
+    hold the cache entry -- before any anti-entropy sweep runs."""
+    from repro.obs import Instrumentation
+    from repro.net.sync import job_cache_key
+
+    cold = FleetDaemon(
+        tmp_path / "cold", daemon_id="cold", http_port=0, sync_interval=1e9
+    ).start()
+    try:
+        obs = Instrumentation()
+        warm = FleetDaemon(
+            tmp_path / "warm",
+            daemon_id="warm",
+            peers=[cold.url],
+            obs=obs,
+            sync_interval=1e9,  # no sweeps: only the push can deliver
+        ).start()
+        warm.service.queue.submit("toy:stats-race", max_bound=1)
+        assert warm.serve(once=True) == 1
+        job = warm.service.queue.jobs()[0]
+        key = job_cache_key(job)
+        mirrored = cold.service.cache.path_for(key)
+        assert mirrored.exists()
+        assert (
+            mirrored.read_text()
+            == warm.service.cache.path_for(key).read_text()
+        )
+        # The delivery is visible in `repro stats`: the counter, its
+        # summary line, and the peer's /v1/stats counters block.
+        assert obs.metrics.counters["cache_pushes"] == 1
+        assert "cache pushes" in obs.metrics.snapshot().summary()
+    finally:
+        cold.close()

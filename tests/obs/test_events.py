@@ -160,3 +160,44 @@ class TestWireFormat:
     def test_non_object_rejected(self):
         with pytest.raises(ObsFormatError, match="must be an object"):
             event_from_dict([1, 2, 3])
+
+
+class TestNewSubsystemEvents:
+    """Events added with repro.invivo and fleet push-on-complete."""
+
+    def test_invivo_run_round_trips(self):
+        from repro.obs.events import InvivoRun
+
+        event = InvivoRun(
+            t=1.5, program="p", threads=4, handshakes=9, abandoned=1
+        )
+        data = event.to_dict()
+        rebuilt = event_from_dict(data)
+        assert type(rebuilt) is InvivoRun and rebuilt.to_dict() == data
+
+    def test_cache_push_sent_round_trips(self):
+        from repro.obs.events import CachePushSent
+
+        event = CachePushSent(t=0.25, key="ab" * 32, peer="http://x:1")
+        data = event.to_dict()
+        rebuilt = event_from_dict(data)
+        assert type(rebuilt) is CachePushSent and rebuilt.to_dict() == data
+
+    def test_invivo_check_emits_one_run_event(self):
+        from repro.invivo import InvivoProgram, Shared
+
+        def setup():
+            data = Shared(0, name="d")
+
+            def bump():
+                data.set(data.get() + 1)
+
+            return {"a": bump, "b": bump}
+
+        _, events = instrumented_check(
+            InvivoProgram("racy-bump", setup), max_bound=1
+        )
+        runs = [e for e in events if e.kind == "invivo_run"]
+        assert len(runs) == 1
+        assert runs[0].program == "racy-bump"
+        assert runs[0].threads > 0 and runs[0].handshakes > 0
