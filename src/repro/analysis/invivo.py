@@ -1,0 +1,1261 @@
+"""Static summaries for in-vivo programs: real code, same facts.
+
+The DSL analyzer in :mod:`repro.analysis.summary` interprets generator
+bodies where every effect is a ``yield`` -- anything else is plain
+Python and provably effect-free.  In-vivo thread bodies
+(:mod:`repro.invivo`) are ordinary callables whose effects hide inside
+*method calls* on adapter objects (``lock.acquire()``,
+``shared.set(...)``, ``with cond: cond.wait()``), so the base
+interpreter's "an unresolved call is harmless" rule is unsound there.
+
+:class:`_InvivoInterpreter` subclasses the DSL interpreter and inverts
+that rule:
+
+* attribute access on an adapter resolves to an :class:`_AdapterMethod`
+  marker (or, for ``.value``, records the read immediately);
+* calling a marker applies the same :class:`_StaticEffect` sequences the
+  adapter's runtime methods perform (``Condition.wait`` expands to
+  ``CV_WAIT`` + ``RELEASE`` + re-``ACQUIRE`` of the backing mutex,
+  mirroring the engine's wait protocol);
+* ``with`` statements are interpreted natively, releasing on the
+  fall-through, ``return``, ``break`` and ``continue`` paths;
+* *every* call of an unresolved or opaque callee degrades the thread to
+  TOP -- real code may hide adapter operations anywhere -- as do
+  generator constructs, ``try``, dynamic attribute targets, and
+  callable-valued arguments smuggled into builtins.
+
+On the same pass the interpreter collects the **hidden-state** facts the
+lint in :mod:`repro.analysis.lint` reports: plain attributes and module
+globals written by a checked thread (``hidden_writes``) and the
+attribute/global values the analysis constant-folded (``resolved_attrs``).
+A post-pass degrades any thread whose folded values another thread
+mutates, so stale folds can never produce an unsound summary.
+
+Soundness contract: identical to the DSL analyzer's -- for every
+non-TOP thread, the dynamic accesses in any execution are contained in
+``summary.accesses`` -- with one documented carve-out (see
+``docs/analysis.md``): effects smuggled through user-defined dunder
+methods invoked implicitly (``__bool__``, ``__iter__``, ``__eq__``...)
+on objects the analysis holds concretely.  Adapter operations written
+as plain statements and calls, the only idiom the runtime supports
+well, are covered exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import types
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from ..core.effects import EffectKind
+from ..core.objects import SharedObject
+from ..core.program import check as _check_fn
+from ..core.sync import Barrier
+from ..core.sync import Event as _CoreEvent
+from ..invivo import adapters as _ad
+from ..invivo.program import InvivoProgram
+from .summary import (
+    _SAFE_BUILTINS,
+    AbstractValue,
+    Concrete,
+    ProgramSummary,
+    ThreadSummary,
+    UNKNOWN,
+    _AbsState,
+    _BarrierGen,
+    _category,
+    _Collector,
+    _EffectMethod,
+    _FnInfo,
+    _GenCall,
+    _Interpreter,
+    _StaticEffect,
+    _StaticFunc,
+    _Top,
+    _join,
+    _merge_many,
+    _merge_states,
+    _possible,
+    _truth,
+    _value_of,
+)
+
+__all__ = ["analyze_invivo_program"]
+
+
+# ---------------------------------------------------------------------------
+# Adapter vocabulary.
+# ---------------------------------------------------------------------------
+
+
+#: Adapter methods the interpreter models; anything else is TOP.
+_ADAPTER_METHODS: Dict[Type[Any], FrozenSet[str]] = {
+    _ad.Lock: frozenset(
+        {"acquire", "release", "locked", "__enter__", "__exit__"}
+    ),
+    _ad.RLock: frozenset({"acquire", "release", "__enter__", "__exit__"}),
+    _ad.Event: frozenset({"is_set", "set", "clear", "wait"}),
+    _ad.Semaphore: frozenset({"acquire", "release", "__enter__", "__exit__"}),
+    _ad.Condition: frozenset(
+        {
+            "acquire",
+            "release",
+            "__enter__",
+            "__exit__",
+            "wait",
+            "wait_for",
+            "notify",
+            "notify_all",
+        }
+    ),
+    _ad.Shared: frozenset({"get", "set"}),
+    _ad.Atomic: frozenset({"get", "set", "add", "cas", "exchange"}),
+}
+
+_ATOMIC_METHOD_KINDS = {
+    "get": EffectKind.ATOMIC_READ,
+    "set": EffectKind.ATOMIC_WRITE,
+    "add": EffectKind.ATOMIC_ADD,
+    "cas": EffectKind.CAS,
+    "exchange": EffectKind.EXCHANGE,
+}
+
+#: C callables known not to reach back into adapter operations.
+_BENIGN_CALLABLES = frozenset(
+    {isinstance, issubclass, repr, id, hash, callable, format, print}
+)
+
+
+def _methods_of(obj: Any) -> Optional[FrozenSet[str]]:
+    for cls in type(obj).__mro__:
+        methods = _ADAPTER_METHODS.get(cls)
+        if methods is not None:
+            return methods
+    return None
+
+
+def _hidden_key(owner: Any, attr: str) -> str:
+    """Stable name for a plain attribute or module global."""
+    if isinstance(owner, type):
+        return f"{owner.__qualname__}.{attr}"
+    if isinstance(owner, types.ModuleType):
+        return f"{owner.__name__}.{attr}"
+    return f"{type(owner).__qualname__}.{attr}"
+
+
+@dataclass(eq=False)
+class _AdapterMethod:
+    """A bound adapter operation, e.g. the value of ``lock.acquire``."""
+
+    objects: Tuple[Any, ...]
+    attr: str
+
+
+class _InvivoCollector(_Collector):
+    """Adds the hidden-state facts to the per-thread collector."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Plain attributes / module globals this thread writes.
+        self.hidden_writes: Set[str] = set()
+        #: Attributes / globals whose values the analysis folded.
+        self.resolved: Set[str] = set()
+
+
+def _foldable_attr(v: Any) -> bool:
+    """Whether an attribute value may be constant-folded.
+
+    Only identity-stable infrastructure values: adapters, callables,
+    classes and modules.  Plain data (ints, ``None``, containers...) is
+    *never* folded from an attribute -- it is exactly the hidden state
+    another thread may mutate behind the analysis's back.
+    """
+    return (
+        isinstance(v, (_ad._Adapter, types.ModuleType, type))
+        or callable(v)
+    )
+
+
+# ---------------------------------------------------------------------------
+# The interpreter.
+# ---------------------------------------------------------------------------
+
+
+class _InvivoInterpreter(_Interpreter):
+    collector: _InvivoCollector
+
+    def __init__(self, collector: _InvivoCollector) -> None:
+        super().__init__(collector)
+        #: Module of each active callable (for global hidden-write keys).
+        self._modules: List[str] = []
+        #: Names declared ``global`` in each active callable.
+        self._globals_stack: List[Set[str]] = []
+
+    # -- frame plumbing -----------------------------------------------
+
+    def _run_callable(
+        self,
+        fn: Any,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+        state: _AbsState,
+    ) -> Tuple[_AbsState, AbstractValue]:
+        if isinstance(fn, _StaticFunc):
+            module = self._modules[-1] if self._modules else "?"
+        else:
+            target = fn.__func__ if inspect.ismethod(fn) else fn
+            fn_globals = getattr(target, "__globals__", None)
+            module = (
+                fn_globals.get("__name__", "?") if fn_globals else "?"
+            )
+        self._modules.append(module)
+        self._globals_stack.append(set())
+        try:
+            return super()._run_callable(fn, pos, kw, state)
+        finally:
+            self._modules.pop()
+            self._globals_stack.pop()
+
+    def _info_for_function(self, fn: Any) -> "_FnInfo":
+        code = getattr(fn, "__code__", None)
+        cached = code is not None and code in self._info_cache
+        info = super()._info_for_function(fn)
+        if cached:
+            return info
+        base_resolver = info.resolver
+        target = fn.__func__ if inspect.ismethod(fn) else fn
+        fn_globals = target.__globals__
+        module = fn_globals.get("__name__", "?")
+        collector = self.collector
+
+        def resolver(name: str) -> AbstractValue:
+            value = base_resolver(name)
+            if (
+                isinstance(value, Concrete)
+                and name in fn_globals
+                and value.value is fn_globals[name]
+            ):
+                collector.resolved.add(f"{module}.{name}")
+            return value
+
+        info.resolver = resolver
+        return info
+
+    def _declared_globals(self) -> Set[str]:
+        return self._globals_stack[-1] if self._globals_stack else set()
+
+    def _load_name(self, name: str, state: _AbsState) -> AbstractValue:
+        if name in self._declared_globals():
+            # A ``global`` name this function may rebind: never fold.
+            return state.env.get(name, UNKNOWN)
+        return super()._load_name(name, state)
+
+    # -- adapter operations -------------------------------------------
+
+    def _apply_alternatives(
+        self, alts: Sequence[Sequence[_StaticEffect]], state: _AbsState
+    ) -> None:
+        """Apply one of several effect sequences (join over receivers)."""
+        if not alts:
+            return
+        if len(alts) == 1:
+            for eff in alts[0]:
+                self._apply_effect(eff, state)
+            return
+        branches: List[_AbsState] = []
+        for seq in alts:
+            branch = state.copy()
+            for eff in seq:
+                self._apply_effect(eff, branch)
+            branches.append(branch)
+        merged = _merge_many(branches)
+        state.may_held = merged.may_held
+        state.must_held = merged.must_held
+
+    def _adapter_attribute(
+        self, objs: Tuple[Any, ...], attr: str, state: _AbsState
+    ) -> AbstractValue:
+        if attr == "name":
+            return _value_of([o.name for o in objs])
+        if attr == "value":
+            if all(isinstance(o, (_ad.Shared, _ad.Atomic)) for o in objs):
+                # Reading the property performs the read right here.
+                alts = [
+                    [
+                        _StaticEffect(
+                            EffectKind.READ
+                            if isinstance(o, _ad.Shared)
+                            else EffectKind.ATOMIC_READ,
+                            (o._var,),
+                        )
+                    ]
+                    for o in objs
+                ]
+                self._apply_alternatives(alts, state)
+                return UNKNOWN
+            raise _Top("attribute 'value' on a non-data adapter")
+        for o in objs:
+            methods = _methods_of(o)
+            if methods is None or attr not in methods:
+                raise _Top(
+                    f"attribute {attr!r} of adapter {o.name!r} is not a "
+                    "modelled operation"
+                )
+        return Concrete(_AdapterMethod(tuple(objs), attr))
+
+    def _blocking_arg(
+        self,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+    ) -> Optional[bool]:
+        value = kw.get("blocking", pos[0] if pos else Concrete(True))
+        return _truth(value)
+
+    def _acquire_alternatives(
+        self,
+        target: Any,
+        blocking: Optional[bool],
+        kind: EffectKind = EffectKind.ACQUIRE,
+    ) -> Tuple[List[List[_StaticEffect]], AbstractValue]:
+        acquire = [_StaticEffect(kind, (target,))]
+        try_acquire = [_StaticEffect(EffectKind.TRY_ACQUIRE, (target,))]
+        if blocking is True:
+            return [acquire], Concrete(True)
+        if blocking is False:
+            return [try_acquire], UNKNOWN
+        return [acquire, try_acquire], UNKNOWN
+
+    def _adapter_op(
+        self,
+        o: Any,
+        attr: str,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+    ) -> Tuple[List[List[_StaticEffect]], AbstractValue]:
+        """Effect alternatives and abstract result of one adapter call."""
+        if isinstance(o, _ad.Lock) or isinstance(o, _ad.RLock):
+            target = o._mutex if isinstance(o, _ad.Lock) else o._section
+            if attr == "__enter__":
+                return self._acquire_alternatives(target, True)
+            if attr == "acquire":
+                return self._acquire_alternatives(
+                    target, self._blocking_arg(pos, kw)
+                )
+            if attr == "release":
+                return (
+                    [[_StaticEffect(EffectKind.RELEASE, (target,))]],
+                    Concrete(None),
+                )
+            if attr == "__exit__":
+                return (
+                    [[_StaticEffect(EffectKind.RELEASE, (target,))]],
+                    Concrete(False),
+                )
+            if attr == "locked":
+                return (
+                    [[_StaticEffect(EffectKind.ATOMIC_READ, (target,))]],
+                    UNKNOWN,
+                )
+        elif isinstance(o, _ad.Event):
+            target = o._event
+            if attr == "is_set":
+                return (
+                    [[_StaticEffect(EffectKind.ATOMIC_READ, (target,))]],
+                    UNKNOWN,
+                )
+            if attr == "set":
+                return (
+                    [[_StaticEffect(EffectKind.SIGNAL, (target,))]],
+                    Concrete(None),
+                )
+            if attr == "clear":
+                return (
+                    [[_StaticEffect(EffectKind.RESET, (target,))]],
+                    Concrete(None),
+                )
+            if attr == "wait":
+                return (
+                    [[_StaticEffect(EffectKind.WAIT, (target,))]],
+                    Concrete(True),
+                )
+        elif isinstance(o, _ad.Semaphore):
+            target = o._sem
+            if attr in ("acquire", "__enter__"):
+                blocking = (
+                    True
+                    if attr == "__enter__"
+                    else self._blocking_arg(pos, kw)
+                )
+                return self._acquire_alternatives(
+                    target, blocking, EffectKind.SEM_ACQUIRE
+                )
+            if attr == "release":
+                return (
+                    [[_StaticEffect(EffectKind.SEM_RELEASE, (target,))]],
+                    Concrete(None),
+                )
+            if attr == "__exit__":
+                return (
+                    [[_StaticEffect(EffectKind.SEM_RELEASE, (target,))]],
+                    Concrete(False),
+                )
+        elif isinstance(o, _ad.Condition):
+            mutex = o._lock._mutex
+            if attr == "__enter__":
+                return self._acquire_alternatives(mutex, True)
+            if attr == "acquire":
+                return self._acquire_alternatives(
+                    mutex, self._blocking_arg(pos, kw)
+                )
+            if attr == "release":
+                return (
+                    [[_StaticEffect(EffectKind.RELEASE, (mutex,))]],
+                    Concrete(None),
+                )
+            if attr == "__exit__":
+                return (
+                    [[_StaticEffect(EffectKind.RELEASE, (mutex,))]],
+                    Concrete(False),
+                )
+            if attr == "wait":
+                # The engine's protocol: the CV_WAIT step releases the
+                # mutex, and the woken thread re-acquires it (the
+                # runtime rewrites the pending op to ACQUIRE).  The
+                # RELEASE/re-ACQUIRE pair keeps must/may locksets exact
+                # and covers the dynamically recorded re-acquisition.
+                return (
+                    [
+                        [
+                            _StaticEffect(EffectKind.CV_WAIT, (o._cv,)),
+                            _StaticEffect(EffectKind.RELEASE, (mutex,)),
+                            _StaticEffect(EffectKind.ACQUIRE, (mutex,)),
+                        ]
+                    ],
+                    Concrete(True),
+                )
+            if attr == "notify":
+                return (
+                    [[_StaticEffect(EffectKind.CV_NOTIFY, (o._cv,))]],
+                    Concrete(None),
+                )
+            if attr == "notify_all":
+                return (
+                    [[_StaticEffect(EffectKind.CV_BROADCAST, (o._cv,))]],
+                    Concrete(None),
+                )
+        elif isinstance(o, _ad.Shared):
+            if attr == "get":
+                return (
+                    [[_StaticEffect(EffectKind.READ, (o._var,))]],
+                    UNKNOWN,
+                )
+            if attr == "set":
+                return (
+                    [[_StaticEffect(EffectKind.WRITE, (o._var,))]],
+                    Concrete(None),
+                )
+        elif isinstance(o, _ad.Atomic):
+            kind = _ATOMIC_METHOD_KINDS.get(attr)
+            if kind is not None:
+                ret = (
+                    Concrete(None)
+                    if attr == "set"
+                    else UNKNOWN
+                )
+                return [[_StaticEffect(kind, (o._var,))]], ret
+        raise _Top(
+            f"unmodelled operation {attr!r} on adapter "
+            f"{getattr(o, 'name', o)!r}"
+        )
+
+    def _adapter_call(
+        self,
+        objs: Tuple[Any, ...],
+        attr: str,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+        state: _AbsState,
+    ) -> AbstractValue:
+        if attr == "wait_for":
+            return self._condition_wait_for(objs, pos, kw, state)
+        alts: List[List[_StaticEffect]] = []
+        rets: List[AbstractValue] = []
+        for o in objs:
+            obj_alts, ret = self._adapter_op(o, attr, pos, kw)
+            alts.extend(obj_alts)
+            rets.append(ret)
+        self._apply_alternatives(alts, state)
+        result = rets[0]
+        for r in rets[1:]:
+            result = _join(result, r)
+        return result
+
+    def _condition_wait_for(
+        self,
+        objs: Tuple[Any, ...],
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+        state: _AbsState,
+    ) -> AbstractValue:
+        if len(objs) != 1 or not isinstance(objs[0], _ad.Condition):
+            raise _Top("wait_for on an ambiguous receiver")
+        cond = objs[0]
+        predicate = kw.get("predicate", pos[0] if pos else None)
+        if predicate is None:
+            raise _Top("wait_for without a predicate")
+        wait_alts, _ = self._adapter_op(cond, "wait", (), {})
+        self._call_abstract(predicate, (), {}, state)
+        # Two wait+re-check passes merged against the zero-wait path.
+        for _ in range(2):
+            branch = state.copy()
+            self._apply_alternatives(wait_alts, branch)
+            self._call_abstract(predicate, (), {}, branch)
+            merged = _merge_states(state, branch)
+            state.env.clear()
+            state.env.update(merged.env)
+            state.may_held = merged.may_held
+            state.must_held = merged.must_held
+        return UNKNOWN
+
+    # -- attribute access ---------------------------------------------
+
+    def _eval_attribute(
+        self, node: ast.Attribute, state: _AbsState
+    ) -> AbstractValue:
+        obj = self._eval(node.value, state)
+        poss = _possible(obj)
+        if poss is None:
+            if node.attr == "value":
+                raise _Top(
+                    "attribute 'value' on an unresolved receiver (may be "
+                    "a Shared/Atomic property read)"
+                )
+            # Reading a plain attribute performs no adapter operation
+            # (property receivers degrade below when resolved; see the
+            # descriptor guard).  The *value* stays unknown.
+            return UNKNOWN
+        adapter_objs = [o for o in poss if isinstance(o, _ad._Adapter)]
+        if adapter_objs:
+            if len(adapter_objs) != len(poss):
+                raise _Top(
+                    f"attribute {node.attr!r} on mixed adapter/plain values"
+                )
+            return self._adapter_attribute(
+                tuple(adapter_objs), node.attr, state
+            )
+        if any(isinstance(o, (SharedObject, Barrier)) for o in poss):
+            raise _Top(
+                f"attribute {node.attr!r} on a core shared object "
+                "(adapters only in in-vivo code)"
+            )
+        results: List[Any] = []
+        for o in poss:
+            if isinstance(
+                o,
+                (
+                    _StaticFunc,
+                    _EffectMethod,
+                    _GenCall,
+                    _BarrierGen,
+                    _AdapterMethod,
+                    _StaticEffect,
+                ),
+            ):
+                raise _Top(f"attribute {node.attr!r} on analysis value")
+            value = self._static_getattr(o, node.attr)
+            if value is _UNFOLDED:
+                return UNKNOWN
+            self.collector.resolved.add(_hidden_key(o, node.attr))
+            results.append(value)
+        return _value_of(results)
+
+    def _static_getattr(self, o: Any, attr: str) -> Any:
+        """Resolve ``o.attr`` without running user descriptors.
+
+        Returns the folded value, ``_UNFOLDED`` for plain data (sound:
+        hidden state is never folded), and raises :class:`_Top` when
+        the attribute is dynamic or a user descriptor could run code.
+        """
+        try:
+            static_value = inspect.getattr_static(o, attr)
+        except AttributeError:
+            raise _Top(
+                f"dynamic attribute {attr!r} of {type(o).__name__} "
+                "(resolved via __getattr__)"
+            )
+        if isinstance(static_value, property) or (
+            hasattr(type(static_value), "__get__")
+            and not isinstance(
+                static_value,
+                (
+                    types.FunctionType,
+                    types.BuiltinFunctionType,
+                    classmethod,
+                    staticmethod,
+                    types.MemberDescriptorType,
+                    types.GetSetDescriptorType,
+                ),
+            )
+        ):
+            raise _Top(
+                f"descriptor attribute {attr!r} of {type(o).__name__} "
+                "may run arbitrary code"
+            )
+        try:
+            value = getattr(o, attr)
+        except Exception:
+            raise _Top(f"unreadable attribute {attr!r}")
+        if _foldable_attr(value):
+            return value
+        return _UNFOLDED
+
+    # -- calls --------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call, state: _AbsState) -> AbstractValue:
+        func = self._eval(node.func, state)
+        pos: List[AbstractValue] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                inner = self._eval(arg.value, state)
+                ip = _possible(inner)
+                if ip is not None and len(ip) == 1:
+                    try:
+                        pos.extend(Concrete(v) for v in list(ip[0]))
+                        continue
+                    except Exception:
+                        pass
+                raise _Top("unresolvable *args in call")
+            pos.append(self._eval(arg, state))
+        kw: Dict[str, AbstractValue] = {}
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                raise _Top("**kwargs in call")
+            kw[keyword.arg] = self._eval(keyword.value, state)
+        return self._call_abstract(func, pos, kw, state, node)
+
+    def _call_abstract(
+        self,
+        func: AbstractValue,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+        state: _AbsState,
+        node: Optional[ast.Call] = None,
+    ) -> AbstractValue:
+        pf = _possible(func)
+        if pf is None:
+            # Unlike the DSL, a call in real code may hide adapter
+            # operations; an unresolved callee is never harmless.
+            raise _Top("call of an unresolved callee")
+        methods = [c for c in pf if isinstance(c, _AdapterMethod)]
+        if methods:
+            if len(methods) != len(pf):
+                raise _Top("call of mixed adapter-method/plain values")
+            attrs = {m.attr for m in methods}
+            if len(attrs) != 1:
+                raise _Top("call of an ambiguous adapter method")
+            objs = tuple(o for m in methods for o in m.objects)
+            return self._adapter_call(objs, attrs.pop(), pos, kw, state)
+        if len(pf) == 1:
+            return self._dispatch_call(pf[0], node, pos, kw, state)
+        branches: List[_AbsState] = []
+        result: AbstractValue = UNKNOWN
+        first = True
+        for candidate in pf:
+            branch = state.copy()
+            ret = self._dispatch_call(candidate, node, pos, kw, branch)
+            result = ret if first else _join(result, ret)
+            first = False
+            branches.append(branch)
+        merged = _merge_many(branches)
+        state.env.clear()
+        state.env.update(merged.env)
+        state.may_held = merged.may_held
+        state.must_held = merged.must_held
+        state.alive = merged.alive
+        return result
+
+    def _dispatch_call(
+        self,
+        callee: Any,
+        node: Optional[ast.Call],
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+        state: _AbsState,
+    ) -> AbstractValue:
+        if isinstance(
+            callee, (_StaticEffect, _GenCall, _BarrierGen, _EffectMethod)
+        ):
+            raise _Top("call of an analysis value")
+        if isinstance(callee, _ad._Adapter):
+            raise _Top(f"adapter {callee.name!r} called directly")
+        if callee is _check_fn:
+            return Concrete(None)
+        if isinstance(callee, _StaticFunc):
+            self._check_snapshot(callee, state)
+            if callee.is_generator:
+                raise _Top(
+                    f"generator function {callee.name!r} called in "
+                    "in-vivo code"
+                )
+            return self._inline_call(callee, pos, kw, state)
+        if callee in _SAFE_BUILTINS:
+            if self._args_conceal_effects(pos, kw):
+                raise _Top(
+                    "callable or user-typed argument to builtin "
+                    f"{_SAFE_BUILTINS[callee]}() may hide adapter "
+                    "operations"
+                )
+            return self._fold_builtin(callee, pos, kw)
+        if isinstance(callee, type):
+            if issubclass(callee, _ad._Adapter):
+                raise _Top(
+                    "adapter constructed inside a checked thread "
+                    "(create shared state in setup)"
+                )
+            if issubclass(callee, BaseException) or callee is object:
+                return UNKNOWN
+            if callee.__init__ is object.__init__:  # type: ignore[misc]
+                return UNKNOWN
+            raise _Top(
+                f"construction of {callee.__name__!r} inside a checked "
+                "thread"
+            )
+        if inspect.isgeneratorfunction(callee) or inspect.iscoroutinefunction(
+            callee
+        ):
+            name = getattr(callee, "__name__", "?")
+            raise _Top(
+                f"call of generator/coroutine function {name!r} in "
+                "in-vivo code"
+            )
+        if inspect.ismethod(callee) or getattr(callee, "__code__", None):
+            return self._inline_call(callee, pos, kw, state)
+        if callee in _BENIGN_CALLABLES:
+            return Concrete(None) if callee is print else UNKNOWN
+        if callable(callee):
+            if self._args_conceal_effects(pos, kw):
+                name = getattr(callee, "__name__", repr(callee))
+                raise _Top(
+                    f"opaque callable {name!r} with effect-capable "
+                    "arguments"
+                )
+            if node is not None and isinstance(node.func, ast.Attribute):
+                self._invalidate_root(node.func, state)
+            return UNKNOWN
+        # Calling a non-callable raises at runtime; the path dies.
+        state.alive = False
+        return UNKNOWN
+
+    def _inline_call(
+        self,
+        callee: Any,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+        state: _AbsState,
+    ) -> AbstractValue:
+        new_state, ret = self._run_callable(callee, list(pos), kw, state)
+        state.may_held = new_state.may_held
+        state.must_held = new_state.must_held
+        state.alive = new_state.alive
+        return ret
+
+    def _fold_builtin(
+        self,
+        callee: Any,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+    ) -> AbstractValue:
+        arg_poss = [_possible(a) for a in pos]
+        kw_poss = {k: _possible(v) for k, v in kw.items()}
+        if all(p is not None and len(p) == 1 for p in arg_poss) and all(
+            p is not None and len(p) == 1 for p in kw_poss.values()
+        ):
+            concrete_args = [p[0] for p in arg_poss if p is not None]
+            concrete_kw = {
+                k: p[0] for k, p in kw_poss.items() if p is not None
+            }
+            try:
+                result = callee(*concrete_args, **concrete_kw)
+                if callee in (zip, enumerate, reversed):
+                    result = tuple(result)
+                return Concrete(result)
+            except Exception:
+                return UNKNOWN
+        return UNKNOWN
+
+    def _args_conceal_effects(
+        self,
+        pos: Sequence[AbstractValue],
+        kw: Mapping[str, AbstractValue],
+    ) -> bool:
+        """Whether an opaque call could run effectful code on its args.
+
+        Flags known callables, adapters, analysis markers and instances
+        of user-defined classes (whose dunder methods an opaque callee
+        might invoke).  ``UNKNOWN`` arguments pass -- the documented
+        precision/soundness trade-off is recorded in docs/analysis.md.
+        """
+        values: List[AbstractValue] = list(pos) + list(kw.values())
+        for value in values:
+            poss = _possible(value)
+            if poss is None:
+                continue
+            for item in poss:
+                if self._effect_capable(item):
+                    return True
+                if isinstance(item, (tuple, list, set, frozenset)):
+                    if any(self._effect_capable(sub) for sub in item):
+                        return True
+                elif isinstance(item, dict):
+                    if any(
+                        self._effect_capable(sub)
+                        for sub in list(item.keys()) + list(item.values())
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _effect_capable(x: Any) -> bool:
+        if isinstance(
+            x,
+            (
+                _ad._Adapter,
+                _StaticFunc,
+                _AdapterMethod,
+                _EffectMethod,
+                _GenCall,
+                _BarrierGen,
+                _StaticEffect,
+                SharedObject,
+                Barrier,
+            ),
+        ):
+            return True
+        if callable(x) and not isinstance(x, type):
+            return True
+        mod = getattr(type(x), "__module__", "builtins")
+        return mod not in ("builtins", "numbers", "decimal", "fractions")
+
+    # -- generator constructs are foreign to in-vivo code -------------
+
+    def _record_yield(
+        self, operand: AbstractValue, state: _AbsState
+    ) -> AbstractValue:
+        raise _Top("yield in an in-vivo thread body")
+
+    def _eval_yield_from(
+        self, node: ast.YieldFrom, state: _AbsState
+    ) -> AbstractValue:
+        raise _Top("yield from in an in-vivo thread body")
+
+    # -- expressions the DSL fallback would mishandle -----------------
+
+    def _eval(self, node: ast.expr, state: _AbsState) -> AbstractValue:
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for cur in ast.walk(node):
+                if isinstance(cur, (ast.Call, ast.Attribute, ast.Await)):
+                    raise _Top(
+                        f"{type(node).__name__} containing calls or "
+                        "attribute access"
+                    )
+            for gen in node.generators:
+                self._eval(gen.iter, state)
+            return UNKNOWN
+        if isinstance(node, ast.Set):
+            for elt in node.elts:
+                self._eval(elt, state)
+            return UNKNOWN
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part, state)
+            return UNKNOWN
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, state)
+            self._assign_target(node.target, value, state)
+            return value
+        if isinstance(node, ast.Await):
+            raise _Top("await in an in-vivo thread body")
+        return super()._eval(node, state)
+
+    # -- statements ---------------------------------------------------
+
+    def _exec_stmt(self, stmt: ast.stmt, state: _AbsState) -> _AbsState:
+        if isinstance(stmt, ast.With):
+            self._tick()
+            return self._exec_with(stmt, state)
+        if isinstance(stmt, ast.Global):
+            self._tick()
+            self._declared_globals().update(stmt.names)
+            return state
+        if isinstance(stmt, ast.Raise):
+            self._tick()
+            if stmt.exc is not None:
+                self._eval(stmt.exc, state)
+            if stmt.cause is not None:
+                self._eval(stmt.cause, state)
+            state.alive = False
+            return state
+        if isinstance(stmt, ast.Assert):
+            self._tick()
+            self._eval(stmt.test, state)
+            if stmt.msg is not None:
+                # The message only evaluates on the failing path.
+                self._eval(stmt.msg, state.copy())
+            return state
+        if isinstance(stmt, ast.AugAssign):
+            self._tick()
+            return self._exec_augassign(stmt, state)
+        if isinstance(stmt, ast.Delete):
+            self._tick()
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.env[target.id] = UNKNOWN
+                else:
+                    raise _Top("del of a non-name target")
+            return state
+        return super()._exec_stmt(stmt, state)
+
+    def _exec_with(self, stmt: ast.With, state: _AbsState) -> _AbsState:
+        entered: List[Tuple[Any, ...]] = []
+        for item in stmt.items:
+            ctx_value = self._eval(item.context_expr, state)
+            poss = _possible(ctx_value)
+            if poss is None:
+                raise _Top("with-statement on an unresolved context manager")
+            if not all(isinstance(o, _ad._Adapter) for o in poss):
+                raise _Top(
+                    "with-statement on a non-adapter context manager"
+                )
+            objs = tuple(poss)
+            ret = self._adapter_call(objs, "__enter__", (), {}, state)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, ret, state)
+            entered.append(objs)
+        frame = self._frame
+        n_returns = len(frame.returns)
+        loop = frame.loops[-1] if frame.loops else None
+        n_breaks = len(loop.breaks) if loop else 0
+        n_continues = len(loop.continues) if loop else 0
+        after_enter = state.copy()
+        out = self._exec_block(stmt.body, state)
+
+        def exit_all(s: _AbsState) -> None:
+            for objs in reversed(entered):
+                self._adapter_call(objs, "__exit__", (), {}, s)
+
+        exited = False
+        if out.alive:
+            exit_all(out)
+            exited = True
+        for captured, _ in frame.returns[n_returns:]:
+            exit_all(captured)
+            exited = True
+        if loop is not None:
+            for captured in loop.breaks[n_breaks:]:
+                exit_all(captured)
+                exited = True
+            for captured in loop.continues[n_continues:]:
+                exit_all(captured)
+                exited = True
+        if not exited:
+            # Every path raises; the runtime still runs __exit__ while
+            # unwinding, so record its accesses on a scratch state.
+            exit_all(after_enter)
+        return out
+
+    def _exec_augassign(
+        self, stmt: ast.AugAssign, state: _AbsState
+    ) -> _AbsState:
+        value = self._eval(stmt.value, state)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            if target.id in self._declared_globals():
+                self._note_global_write(target.id, state)
+                return state
+            current = self._load_name(target.id, state)
+            state.env[target.id] = self._apply_binop(
+                type(stmt.op), current, value
+            )
+            return state
+        if isinstance(target, ast.Attribute):
+            recv = self._eval(target.value, state)
+            poss = _possible(recv)
+            if poss is None:
+                raise _Top(
+                    f"augmented assignment to attribute {target.attr!r} "
+                    "on an unresolved receiver"
+                )
+            adapter_objs = [o for o in poss if isinstance(o, _ad._Adapter)]
+            if adapter_objs:
+                if len(adapter_objs) != len(poss) or target.attr != "value":
+                    raise _Top(
+                        "augmented assignment to adapter attribute "
+                        f"{target.attr!r}"
+                    )
+                for o in adapter_objs:
+                    if not isinstance(o, (_ad.Shared, _ad.Atomic)):
+                        raise _Top(
+                            "augmented assignment to 'value' of a "
+                            "non-data adapter"
+                        )
+                # ``shared.value += v`` reads then writes the variable.
+                read_alts = [
+                    [
+                        _StaticEffect(
+                            EffectKind.READ
+                            if isinstance(o, _ad.Shared)
+                            else EffectKind.ATOMIC_READ,
+                            (o._var,),
+                        )
+                    ]
+                    for o in adapter_objs
+                ]
+                write_alts = [
+                    [
+                        _StaticEffect(
+                            EffectKind.WRITE
+                            if isinstance(o, _ad.Shared)
+                            else EffectKind.ATOMIC_WRITE,
+                            (o._var,),
+                        )
+                    ]
+                    for o in adapter_objs
+                ]
+                self._apply_alternatives(read_alts, state)
+                self._apply_alternatives(write_alts, state)
+                return state
+            for o in poss:
+                self._note_hidden_write(o, target.attr)
+            # No invalidation: attribute *data* is never folded, and
+            # folded infrastructure values are protected by the
+            # resolved/written degrade pass in analyze_invivo_program.
+            return state
+        if isinstance(target, ast.Subscript):
+            self._check_subscript_store(target, state)
+            self._invalidate_root(target, state)
+            return state
+        raise _Top(
+            f"unsupported augmented-assignment target "
+            f"{type(target).__name__}"
+        )
+
+    def _note_global_write(self, name: str, state: _AbsState) -> None:
+        module = self._modules[-1] if self._modules else "?"
+        self.collector.hidden_writes.add(f"{module}.{name}")
+        state.env[name] = UNKNOWN
+
+    def _note_hidden_write(self, o: Any, attr: str) -> None:
+        if isinstance(
+            o,
+            (
+                _StaticFunc,
+                _EffectMethod,
+                _GenCall,
+                _BarrierGen,
+                _AdapterMethod,
+                _StaticEffect,
+                SharedObject,
+                Barrier,
+            ),
+        ):
+            raise _Top(f"attribute {attr!r} assigned on analysis value")
+        if not isinstance(o, (type, types.ModuleType)):
+            setter = type(o).__setattr__
+            if setter is not object.__setattr__:
+                raise _Top(
+                    f"attribute store via custom __setattr__ of "
+                    f"{type(o).__name__}"
+                )
+        self.collector.hidden_writes.add(_hidden_key(o, attr))
+
+    def _check_subscript_store(
+        self, target: ast.Subscript, state: _AbsState
+    ) -> None:
+        recv = self._eval(target.value, state)
+        self._eval(target.slice, state)
+        poss = _possible(recv)
+        if poss is None or not all(
+            isinstance(o, (dict, list, set, bytearray)) for o in poss
+        ):
+            raise _Top(
+                "subscript assignment on a non-builtin container "
+                "(a custom __setitem__ may hide adapter operations)"
+            )
+
+    def _assign_target(
+        self, target: ast.expr, value: AbstractValue, state: _AbsState
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self._declared_globals():
+                self._note_global_write(target.id, state)
+                return
+            state.env[target.id] = value
+            return
+        if isinstance(target, ast.Attribute):
+            recv = self._eval(target.value, state)
+            poss = _possible(recv)
+            if poss is None:
+                raise _Top(
+                    f"assignment to attribute {target.attr!r} on an "
+                    "unresolved receiver"
+                )
+            adapter_objs = [o for o in poss if isinstance(o, _ad._Adapter)]
+            if adapter_objs:
+                if len(adapter_objs) != len(poss):
+                    raise _Top(
+                        "attribute assignment on mixed adapter/plain "
+                        "values"
+                    )
+                if target.attr == "value" and all(
+                    isinstance(o, (_ad.Shared, _ad.Atomic))
+                    for o in adapter_objs
+                ):
+                    alts = [
+                        [
+                            _StaticEffect(
+                                EffectKind.WRITE
+                                if isinstance(o, _ad.Shared)
+                                else EffectKind.ATOMIC_WRITE,
+                                (o._var,),
+                            )
+                        ]
+                        for o in adapter_objs
+                    ]
+                    self._apply_alternatives(alts, state)
+                    return
+                raise _Top(
+                    f"assignment to adapter attribute {target.attr!r}"
+                )
+            for o in poss:
+                self._note_hidden_write(o, target.attr)
+            return
+        if isinstance(target, ast.Subscript):
+            self._check_subscript_store(target, state)
+            self._invalidate_root(target, state)
+            return
+        super()._assign_target(target, value, state)
+
+
+#: Sentinel: an attribute exists but is plain data we refuse to fold.
+_UNFOLDED = object()
+
+
+# ---------------------------------------------------------------------------
+# Program-level analysis.
+# ---------------------------------------------------------------------------
+
+
+def _analyze_one_invivo(
+    label: str, fn: Any, args: Tuple[AbstractValue, ...]
+) -> ThreadSummary:
+    collector = _InvivoCollector()
+    interp = _InvivoInterpreter(collector)
+    state = _AbsState({}, set(), set())
+    try:
+        exit_state, _ = interp._run_callable(fn, list(args), {}, state)
+        exit_unreleased = (
+            frozenset(exit_state.must_held)
+            if exit_state.alive
+            else frozenset()
+        )
+    except _Top as top:
+        return ThreadSummary.make_top(label, top.reason, False)
+    except RecursionError:  # pragma: no cover - defensive
+        return ThreadSummary.make_top(label, "analyzer recursion limit", False)
+    except Exception as exc:
+        # Safety net: analyzer bugs degrade to TOP, never to a silently
+        # wrong summary.
+        reason = f"analyzer error: {type(exc).__name__}: {exc}"
+        return ThreadSummary.make_top(label, reason, False)
+    return ThreadSummary(
+        label=label,
+        top=False,
+        top_reason="",
+        multi_instance=False,
+        accesses=tuple(collector.accesses),
+        lock_edges=frozenset(collector.lock_edges),
+        exit_unreleased=exit_unreleased,
+        double_acquires=tuple(collector.double_acquires),
+        waited_events=frozenset(collector.waited_events),
+        signalled_events=frozenset(collector.signalled_events),
+        spawned_labels=(),
+        hidden_writes=frozenset(collector.hidden_writes),
+        resolved_attrs=frozenset(collector.resolved),
+    )
+
+
+def analyze_invivo_program(program: InvivoProgram) -> ProgramSummary:
+    """Compute sound static summaries for an :class:`InvivoProgram`.
+
+    Runs the program's setup once (``instantiate_raw``; no thread body
+    executes) to learn the shared-object catalog and the raw thread
+    callables, interprets each callable's source, then cross-checks the
+    hidden-state facts: any thread whose constant-folded attributes or
+    globals (``resolved_attrs``) are written by some checked thread
+    (``hidden_writes``) is degraded to TOP -- its folds may be stale.
+    """
+    world, _ctx, specs = program.instantiate_raw()
+    variables: Dict[str, str] = {}
+    events_initially_set: Dict[str, bool] = {}
+    for obj in world.objects:
+        variables[obj.name] = _category(obj)
+        if isinstance(obj, _CoreEvent):
+            events_initially_set[obj.name] = obj.is_set
+
+    used_labels: Set[str] = set()
+    summaries: List[ThreadSummary] = []
+    for label, fn, args in specs:
+        unique = label
+        n = 2
+        while unique in used_labels:
+            unique = f"{label}~{n}"
+            n += 1
+        used_labels.add(unique)
+        summaries.append(
+            _analyze_one_invivo(
+                unique, fn, tuple(Concrete(a) for a in args)
+            )
+        )
+
+    written: Set[str] = set()
+    for summary in summaries:
+        if not summary.top:
+            written |= set(summary.hidden_writes)
+    out: List[ThreadSummary] = []
+    for summary in summaries:
+        clash = set(summary.resolved_attrs) & written
+        if not summary.top and clash:
+            names = ", ".join(sorted(clash))
+            out.append(
+                ThreadSummary.make_top(
+                    summary.label,
+                    f"statically resolved state ({names}) is mutated by "
+                    "a checked thread",
+                    summary.multi_instance,
+                )
+            )
+        else:
+            out.append(summary)
+
+    return ProgramSummary(
+        program=program.name,
+        threads=tuple(out),
+        variables=variables,
+        events_initially_set=events_initially_set,
+    )

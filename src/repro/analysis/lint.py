@@ -16,6 +16,12 @@ dynamic checkers stay the ground truth.  Codes:
 ``lock-cycle``
     The static lock-order graph has a cycle (see
     :mod:`repro.analysis.lockgraph`): a potential ABBA deadlock.
+``hidden-state``
+    In-vivo only: a plain attribute or module global is written by more
+    than one checked thread instance without a ``Shared``/``Atomic``
+    wrapper -- invisible to race detection and state fingerprints (see
+    ``docs/invivo.md``).  Suppressed when any summary is TOP (writes of
+    the TOP thread are unknown).
 
 Each finding carries a stable ``fingerprint`` so a committed baseline
 file can distinguish known findings (e.g. in the intentionally buggy
@@ -26,7 +32,7 @@ on non-baselined findings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from .lockgraph import LockOrderGraph
 from .summary import ProgramSummary
@@ -114,6 +120,28 @@ def lint_program(
                         ),
                     )
                 )
+
+    if not summary.any_top:
+        writers: Dict[str, int] = {}
+        for thread in summary.threads:
+            per_instance = 2 if thread.multi_instance else 1
+            for key in thread.hidden_writes:
+                writers[key] = writers.get(key, 0) + per_instance
+        for key in sorted(writers):
+            if writers[key] < 2:
+                continue
+            findings.append(
+                LintFinding(
+                    program=program,
+                    code="hidden-state",
+                    subject=key,
+                    message=(
+                        f"plain state {key!r} is written by more than "
+                        "one checked thread without a Shared/Atomic "
+                        "wrapper; the checker cannot see these accesses"
+                    ),
+                )
+            )
 
     for cycle in graph.cycles():
         findings.append(

@@ -552,6 +552,12 @@ class ThreadSummary:
     waited_events: FrozenSet[str] = frozenset()
     signalled_events: FrozenSet[str] = frozenset()
     spawned_labels: Tuple[str, ...] = ()
+    #: In-vivo only: plain attributes / module globals this thread
+    #: writes without a Shared/Atomic wrapper (hidden-state lint).
+    hidden_writes: FrozenSet[str] = frozenset()
+    #: In-vivo only: attribute/global values the analysis folded
+    #: (degraded to TOP when some checked thread writes them).
+    resolved_attrs: FrozenSet[str] = frozenset()
 
     @classmethod
     def make_top(
@@ -1703,7 +1709,17 @@ def analyze_program(program: Program) -> ProgramSummary:
     thread body executes) to learn the shared-object catalog and the
     root thread specs, then abstractly interprets each thread body and,
     transitively, every body it can ``spawn``.
+
+    :class:`~repro.invivo.program.InvivoProgram` instances are routed
+    to the source-level interpreter in :mod:`repro.analysis.invivo`,
+    which understands the adapter vocabulary instead of the effect DSL.
     """
+    from ..invivo.program import InvivoProgram
+
+    if isinstance(program, InvivoProgram):
+        from .invivo import analyze_invivo_program
+
+        return analyze_invivo_program(program)
     world, specs = program.instantiate()
     variables: Dict[str, str] = {}
     events_initially_set: Dict[str, bool] = {}

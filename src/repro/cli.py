@@ -262,13 +262,31 @@ def _parallel_settings(args: argparse.Namespace):
 
 def _analysis_specs(args: argparse.Namespace) -> list:
     """The program specs an analyze/lint invocation covers."""
+    module = getattr(args, "module", None)
+    if module is not None:
+        if args.program is not None or getattr(args, "all", False):
+            raise SystemExit(
+                "pass a PROGRAM, --all or --module, not a combination"
+            )
+        if ":" not in module:
+            raise SystemExit(
+                f"--module expects module:factory, got {module!r}"
+            )
+        return [module]
     if getattr(args, "all", False):
         if args.program is not None:
             raise SystemExit("pass a PROGRAM or --all, not both")
         return sorted(_builtin_programs())
     if args.program is None:
-        raise SystemExit("pass a PROGRAM or --all")
+        raise SystemExit("pass a PROGRAM, --all or --module")
     return [args.program]
+
+
+def _resolve_analysis_program(args: argparse.Namespace, spec: str) -> Program:
+    """Resolve one analyze/lint spec (built-in, spec'd, or --module)."""
+    if getattr(args, "module", None) is not None:
+        return _import_factory(spec)
+    return _resolve_program(spec)
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -279,7 +297,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if not first:
             print()
         first = False
-        print(analyze(_resolve_program(spec)).render())
+        print(analyze(_resolve_analysis_program(args, spec)).render())
     return 0
 
 
@@ -288,7 +306,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     findings: list = []
     for spec in _analysis_specs(args):
-        findings.extend(analyze(_resolve_program(spec)).findings)
+        findings.extend(analyze(_resolve_analysis_program(args, spec)).findings)
     if args.update_baseline:
         with open(args.update_baseline, "w", encoding="utf-8") as fh:
             fh.write(format_baseline(findings))
@@ -841,6 +859,11 @@ def main(argv: Optional[list] = None) -> int:
                                 help="built-in name or module:factory")
     analyze_parser.add_argument("--all", action="store_true",
                                 help="analyze every built-in program")
+    analyze_parser.add_argument("--module", default=None,
+                                metavar="MODULE:FACTORY",
+                                help="analyze the Program returned by this "
+                                "factory (e.g. examples.invivo."
+                                "bounded_queue:make_program)")
 
     lint_parser = commands.add_parser(
         "lint",
@@ -851,6 +874,11 @@ def main(argv: Optional[list] = None) -> int:
                              help="built-in name or module:factory")
     lint_parser.add_argument("--all", action="store_true",
                              help="lint every built-in program")
+    lint_parser.add_argument("--module", default=None,
+                             metavar="MODULE:FACTORY",
+                             help="lint the Program returned by this factory "
+                             "(e.g. examples.invivo.hidden_state:"
+                             "make_program)")
     lint_parser.add_argument("--baseline", default=None, metavar="FILE",
                              help="known-findings file; only findings not "
                              "listed there fail the run")

@@ -34,9 +34,9 @@ import importlib
 import inspect
 import threading as _threading
 from types import ModuleType
-from typing import Any, Callable, Dict, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from ..core.program import Program, SetupResult, _normalize_threads
+from ..core.program import Program, SetupResult, ThreadSpec, _normalize_threads
 from ..core.world import World
 from ..errors import ProgramDefinitionError
 from . import adapters
@@ -73,7 +73,7 @@ class InvivoProgram(Program):
         setup: Callable[[], SetupResult],
         expected_bugs: Tuple[str, ...] = (),
         handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT,
-        patch: "monkeypatch" = None,
+        patch: Optional["monkeypatch"] = None,
     ) -> None:
         super().__init__(name, setup, expected_bugs)
         self.handshake_timeout = handshake_timeout
@@ -87,7 +87,17 @@ class InvivoProgram(Program):
             "abandoned": 0,
         }
 
-    def instantiate(self) -> Tuple[World, list]:
+    def instantiate_raw(
+        self,
+    ) -> Tuple[World, InvivoContext, List[ThreadSpec]]:
+        """Run setup once; return the world, context and *raw* specs.
+
+        The raw ``(label, fn, args)`` specs carry the user callables
+        themselves, before bridging -- what the static analyzer in
+        :mod:`repro.analysis.invivo` interprets (the bridge generators
+        have no analyzable source).  ``instantiate`` wraps the same
+        specs in bridges for execution.
+        """
         if self.patch is not None:
             self.patch.apply()
         world = World()
@@ -101,6 +111,10 @@ class InvivoProgram(Program):
                     "the initial threads"
                 )
             specs = _normalize_threads(result)
+        return world, ctx, specs
+
+    def instantiate(self) -> Tuple[World, List[ThreadSpec]]:
+        world, ctx, specs = self.instantiate_raw()
         return world, [
             (label, make_bridge(ctx, label, fn, args), ())
             for label, fn, args in specs

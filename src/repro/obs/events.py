@@ -153,7 +153,10 @@ class AnalysisCompleted(Event):
 
     ``top_threads`` counts summaries that fell back to TOP; any
     nonzero value means the scheduling-point reduction is disabled
-    for the run (see ``docs/analysis.md``)."""
+    for the run (see ``docs/analysis.md``).  ``top_reasons`` records
+    *why* each TOP thread degraded (``"label: reason"`` joined with
+    ``"; "``, empty when none) so no program -- in particular no
+    in-vivo program -- silently loses the reduction."""
 
     kind: ClassVar[str] = "analysis_completed"
 
@@ -163,6 +166,7 @@ class AnalysisCompleted(Event):
     proven_local: int
     candidates: int
     findings: int
+    top_reasons: str
 
 
 @dataclass(frozen=True)

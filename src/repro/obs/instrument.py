@@ -246,17 +246,25 @@ class Instrumentation:
     def analysis_completed(self, analysis: "ProgramAnalysis") -> None:
         """Milestone: the pre-search static analysis pass finished."""
         self.metrics.add("analyses")
+        summary = analysis.summary
+        top = [t for t in summary.threads if t.top]
+        if top:
+            # A TOP fallback is never silent: the count is a counter
+            # and the reasons travel on the event.
+            self.metrics.add("analysis_top_threads", len(top))
         if self.bus.active:
-            summary = analysis.summary
             self.bus.emit(
                 AnalysisCompleted(
                     self.now(),
                     program=summary.program,
                     threads=len(summary.threads),
-                    top_threads=sum(1 for t in summary.threads if t.top),
+                    top_threads=len(top),
                     proven_local=len(analysis.proven_local),
                     candidates=len(analysis.candidates),
                     findings=len(analysis.findings),
+                    top_reasons="; ".join(
+                        f"{t.label}: {t.top_reason}" for t in top
+                    ),
                 )
             )
 

@@ -23,6 +23,7 @@ EXAMPLES = [
     "examples.invivo.bounded_queue",
     "examples.invivo.lazy_singleton",
     "examples.invivo.barrier_misuse",
+    "examples.invivo.hidden_state",
 ]
 
 

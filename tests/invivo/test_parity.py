@@ -12,15 +12,17 @@ fingerprints, witness traces) mean the same thing for in-vivo code as
 for the DSL.
 
 The cross-validation half pins how ``repro.analysis`` composes: the
-bridge bodies are not analyzable generators, so every invivo thread
-summary degrades to TOP and the search reduction disables itself --
-the analysis can lose precision on in-vivo code, never soundness.
+in-vivo analyzer (:mod:`repro.analysis.invivo`) interprets the real
+callables' source, so the kitchen sink analyzes without TOP and its
+summary must cover the dynamic trace -- the same soundness obligation
+the DSL twin carries.  Opting in to the analysis reduction must never
+hide a bug.
 """
 
 from __future__ import annotations
 
 from repro import ChessChecker, Execution, Program
-from repro.analysis import analyze, analyze_program
+from repro.analysis import analyze_program
 from repro.core.sync import CondVar
 from repro.errors import BugKind
 from repro.invivo import (
@@ -250,13 +252,21 @@ class TestAnalysisCrossValidation:
                     continue
                 assert summary.covers(kind, name), (kind, name)
 
-    def test_invivo_threads_degrade_to_top(self):
-        # Bridge bodies are not analyzable ASTs: every thread summary
-        # is TOP, so the reduction disables itself instead of pruning
-        # unsoundly.
-        analysis = analyze(make_invivo_kitchen_sink())
-        assert analysis.summary.any_top
-        assert not analysis.reduction_enabled
+    def test_invivo_twin_is_statically_covered(self):
+        # The in-vivo analyzer reads the callables' source: the same
+        # program analyzes without TOP and carries the same soundness
+        # obligation as its DSL twin.
+        program = make_invivo_kitchen_sink()
+        summary = analyze_program(program)
+        assert not summary.any_top, [
+            (t.label, t.top_reason) for t in summary.threads if t.top
+        ]
+        execution = Execution(make_invivo_kitchen_sink()).run_round_robin()
+        for record in execution.step_records:
+            for kind, name in record.accesses:
+                if name is None or name.startswith("$") or "#" in name:
+                    continue
+                assert summary.covers(kind, name), (kind, name)
 
     def test_analysis_flag_is_safe_on_invivo_programs(self):
         # Opting in to the analysis reduction must not hide the bug.
